@@ -1,0 +1,389 @@
+// Package asyncmg is a from-scratch Go implementation of asynchronous
+// additive multigrid methods, reproducing "Asynchronous Multigrid Methods"
+// (Wolfson-Pou & Chow, 2019).
+//
+// The package provides:
+//
+//   - problem generators: 3-D Laplacians on 7-point and 27-point stencils,
+//     and P1 tetrahedral FEM assemblies (Laplace on a ball, multi-material
+//     linear elasticity on a cantilever beam);
+//   - a classical AMG setup phase (strength of connection, PMIS/HMIS
+//     coarsening with aggressive levels, classical-modified and multipass
+//     interpolation, Galerkin products) standing in for BoomerAMG;
+//   - four smoothers: weighted Jacobi, ℓ1-Jacobi, hybrid Jacobi-Gauss-Seidel
+//     and asynchronous Gauss-Seidel;
+//   - synchronous solvers: the multiplicative V(1,1)-cycle (Mult), the
+//     additive Multadd and AFACx methods, and BPX;
+//   - sequential simulation models of asynchronous multigrid (semi-async and
+//     full-async, solution- and residual-based);
+//   - a goroutine-team asynchronous runtime with the global-res and
+//     local-res algorithms, lock-write and atomic-write modes, the
+//     residual-based r-Multadd variant, and the paper's two stopping
+//     criteria;
+//   - an experiment harness that regenerates every table and figure of the
+//     paper's evaluation.
+//
+// # Quick start
+//
+//	a := asyncmg.Laplacian27pt(20)              // 8000-row Poisson problem
+//	setup, _ := asyncmg.NewSetup(a, asyncmg.DefaultAMGOptions(), asyncmg.DefaultSmoother())
+//	b := asyncmg.RandomRHS(a.Rows, 1)
+//	res, _ := asyncmg.SolveAsync(setup, b, asyncmg.AsyncConfig{
+//	    Method:    asyncmg.Multadd,
+//	    Write:     asyncmg.AtomicWrite,
+//	    Res:       asyncmg.LocalRes,
+//	    Threads:   8,
+//	    MaxCycles: 30,
+//	})
+//	fmt.Println(res.RelRes)
+//
+// The subpackage structure is internal; everything a user needs is exported
+// here via type aliases, so godoc for this one package documents the whole
+// public surface.
+package asyncmg
+
+import (
+	"io"
+
+	"asyncmg/internal/amg"
+	"asyncmg/internal/async"
+	"asyncmg/internal/chaotic"
+	"asyncmg/internal/distmem"
+	"asyncmg/internal/fem"
+	"asyncmg/internal/grid"
+	"asyncmg/internal/harness"
+	"asyncmg/internal/krylov"
+	"asyncmg/internal/mg"
+	"asyncmg/internal/model"
+	"asyncmg/internal/mtx"
+	"asyncmg/internal/smoother"
+	"asyncmg/internal/sparse"
+	"asyncmg/internal/spectral"
+)
+
+// ---- Sparse linear algebra ----
+
+// Matrix is a sparse matrix in compressed sparse row format.
+type Matrix = sparse.CSR
+
+// COO is a coordinate-format assembly buffer convertible to a Matrix.
+type COO = sparse.COO
+
+// NewCOO returns an empty assembly buffer for a rows×cols matrix.
+func NewCOO(rows, cols, nnzHint int) *COO { return sparse.NewCOO(rows, cols, nnzHint) }
+
+// ---- Problem generators ----
+
+// Laplacian7pt builds the 3-D 7-point Laplacian on an n×n×n grid (the
+// paper's "7pt" test set).
+func Laplacian7pt(n int) *Matrix { return grid.Laplacian7pt(n) }
+
+// Laplacian27pt builds the 3-D 27-point Laplacian on an n×n×n grid (the
+// paper's "27pt" test set).
+func Laplacian27pt(n int) *Matrix { return grid.Laplacian27pt(n) }
+
+// RandomRHS returns a right-hand side with entries uniform in [-1, 1],
+// reproducible under seed (the paper's test protocol).
+func RandomRHS(n int, seed int64) []float64 { return grid.RandomRHS(n, seed) }
+
+// Mesh is a conforming tetrahedral mesh.
+type Mesh = fem.Mesh
+
+// FEMProblem is an assembled, Dirichlet-reduced linear system.
+type FEMProblem = fem.Problem
+
+// Material is an isotropic linear-elastic material (Young's modulus E,
+// Poisson ratio Nu).
+type Material = fem.Material
+
+// BallMesh builds a tetrahedral mesh of the unit ball (the substitute for
+// the paper's NURBS sphere).
+func BallMesh(n int) *Mesh { return fem.BallMesh(n) }
+
+// BeamMesh builds the multi-material cantilever beam mesh.
+func BeamMesh(n int) *Mesh { return fem.BeamMesh(n) }
+
+// BoxMesh builds a structured tetrahedral mesh of a box.
+func BoxMesh(nx, ny, nz int, lx, ly, lz float64) *Mesh {
+	return fem.BoxMesh(nx, ny, nz, lx, ly, lz)
+}
+
+// AssembleLaplace assembles the P1 stiffness matrix of -Δu with homogeneous
+// Dirichlet conditions on the mesh's boundary nodes.
+func AssembleLaplace(m *Mesh) (*FEMProblem, error) { return fem.AssembleLaplace(m) }
+
+// AssembleElasticity assembles 3-D isotropic linear elasticity with clamped
+// boundary nodes.
+func AssembleElasticity(m *Mesh, mats []Material) (*FEMProblem, error) {
+	return fem.AssembleElasticity(m, mats)
+}
+
+// DefaultBeamMaterials is the paper-style three-material beam configuration.
+func DefaultBeamMaterials() []Material { return fem.DefaultBeamMaterials() }
+
+// ---- AMG setup ----
+
+// AMGOptions configures the algebraic multigrid setup phase.
+type AMGOptions = amg.Options
+
+// CoarsenMethod selects PMIS or HMIS coarsening.
+type CoarsenMethod = amg.CoarsenMethod
+
+// InterpType selects the interpolation scheme.
+type InterpType = amg.InterpType
+
+// Hierarchy is the output of the AMG setup.
+type Hierarchy = amg.Hierarchy
+
+// Coarsening methods and interpolation types (BoomerAMG-style options).
+const (
+	PMIS              = amg.PMIS
+	HMIS              = amg.HMIS
+	RugeStuben        = amg.RugeStuben
+	ClassicalModified = amg.ClassicalModified
+	DirectInterp      = amg.Direct
+	MultipassInterp   = amg.Multipass
+)
+
+// DefaultAMGOptions mirrors the paper's BoomerAMG configuration: HMIS
+// coarsening, classical modified interpolation, one aggressive level.
+func DefaultAMGOptions() AMGOptions { return amg.DefaultOptions() }
+
+// BuildHierarchy runs the AMG setup phase on a.
+func BuildHierarchy(a *Matrix, opt AMGOptions) (*Hierarchy, error) { return amg.Build(a, opt) }
+
+// ---- Smoothers ----
+
+// SmootherKind identifies one of the four smoothers of the paper.
+type SmootherKind = smoother.Kind
+
+// SmootherConfig selects and parameterizes a smoother.
+type SmootherConfig = smoother.Config
+
+// The four smoothers evaluated in the paper, plus the ℓ1 variant of hybrid
+// JGS (the divergence-proof hybrid smoother of the paper's reference [23]).
+const (
+	WJacobi     = smoother.WJacobi
+	L1Jacobi    = smoother.L1Jacobi
+	HybridJGS   = smoother.HybridJGS
+	AsyncGS     = smoother.AsyncGS
+	L1HybridJGS = smoother.L1HybridJGS
+)
+
+// DefaultSmoother returns ω-Jacobi with ω = 0.9.
+func DefaultSmoother() SmootherConfig { return smoother.DefaultConfig() }
+
+// ---- Multigrid setup and synchronous solvers ----
+
+// Setup bundles the hierarchy, per-level smoothers, and the smoothed
+// interpolants of Multadd.
+type Setup = mg.Setup
+
+// Method selects a multigrid algorithm.
+type Method = mg.Method
+
+// The multigrid methods.
+const (
+	Mult    = mg.Mult
+	Multadd = mg.Multadd
+	AFACx   = mg.AFACx
+	BPX     = mg.BPX
+)
+
+// NewSetup builds the AMG hierarchy and all solver operators for a.
+func NewSetup(a *Matrix, amgOpt AMGOptions, smoCfg SmootherConfig) (*Setup, error) {
+	return mg.NewSetup(a, amgOpt, smoCfg)
+}
+
+// NewSetupFromHierarchy builds solver operators on an existing hierarchy.
+func NewSetupFromHierarchy(h *Hierarchy, smoCfg SmootherConfig) (*Setup, error) {
+	return mg.NewSetupFromHierarchy(h, smoCfg)
+}
+
+// SolveSync runs tmax sequential V-cycles of the chosen method from x = 0
+// and returns the final iterate and the relative-residual history.
+func SolveSync(s *Setup, m Method, b []float64, tmax int) (x []float64, hist []float64) {
+	return s.Solve(m, b, tmax)
+}
+
+// ---- Asynchronous models (Section III) ----
+
+// ModelVariant selects one of the three §III simulation models.
+type ModelVariant = model.Variant
+
+// ModelConfig parameterizes a model simulation run.
+type ModelConfig = model.Config
+
+// ModelResult reports a simulation outcome.
+type ModelResult = model.Result
+
+// The three asynchronous models.
+const (
+	SemiAsync         = model.SemiAsync
+	FullAsyncSolution = model.FullAsyncSolution
+	FullAsyncResidual = model.FullAsyncResidual
+)
+
+// SimulateModel runs one sequential simulation of asynchronous multigrid.
+func SimulateModel(s *Setup, b []float64, cfg ModelConfig) (*ModelResult, error) {
+	return model.Run(s, b, cfg)
+}
+
+// ---- Asynchronous runtime (Section IV) ----
+
+// AsyncConfig parameterizes a parallel (synchronous or asynchronous) solve.
+type AsyncConfig = async.Config
+
+// AsyncResult reports a parallel solve's outcome.
+type AsyncResult = async.Result
+
+// WriteMode selects lock-write or atomic-write.
+type WriteMode = async.WriteMode
+
+// ResMode selects local-res, global-res, or the residual-based update.
+type ResMode = async.ResMode
+
+// StopCriterion selects the paper's stopping rule.
+type StopCriterion = async.Criterion
+
+// Write modes, residual modes and stopping criteria.
+const (
+	LockWrite   = async.LockWrite
+	AtomicWrite = async.AtomicWrite
+
+	LocalRes    = async.LocalRes
+	GlobalRes   = async.GlobalRes
+	ResidualRes = async.ResidualRes
+
+	Criterion1 = async.Criterion1
+	Criterion2 = async.Criterion2
+)
+
+// SolveAsync runs the configured parallel multigrid solver on A x = b.
+func SolveAsync(s *Setup, b []float64, cfg AsyncConfig) (*AsyncResult, error) {
+	return async.Solve(s, b, cfg)
+}
+
+// ---- Experiment harness ----
+
+// BuildProblem generates a test matrix by family name ("7pt", "27pt",
+// "mfem-laplace", "mfem-elasticity") and mesh parameter.
+func BuildProblem(name string, size int) (*Matrix, error) {
+	return harness.BuildProblem(name, size)
+}
+
+// ProblemNames lists the four test-matrix families of the paper.
+func ProblemNames() []string { return harness.AllProblems() }
+
+// ---- Krylov solvers ----
+
+// CGOptions configures a (preconditioned) conjugate gradient solve.
+type CGOptions = krylov.Options
+
+// CGResult reports a CG solve.
+type CGResult = krylov.Result
+
+// Preconditioner applies z = M⁻¹r inside PCG.
+type Preconditioner = krylov.Preconditioner
+
+// MGPreconditioner applies one multigrid cycle as a preconditioner — the
+// proper use of BPX per the paper ("BPX is typically used as a
+// preconditioner").
+type MGPreconditioner = krylov.MGPreconditioner
+
+// DefaultCGOptions returns Tol 1e-9, MaxIter 1000, no preconditioner.
+func DefaultCGOptions() CGOptions { return krylov.DefaultOptions() }
+
+// SolveCG runs (preconditioned) conjugate gradients on A x = b from x = 0.
+func SolveCG(a *Matrix, b []float64, opt CGOptions) (*CGResult, error) {
+	return krylov.Solve(a, b, opt)
+}
+
+// NewMGPreconditioner builds a one-cycle multigrid preconditioner.
+func NewMGPreconditioner(s *Setup, m Method) *MGPreconditioner {
+	return krylov.NewMGPreconditioner(s, m)
+}
+
+// ---- Distributed-memory simulation ----
+
+// DistConfig parameterizes a distributed-memory asynchronous solve (message
+// passing between grid processes; the paper's distributed-memory outlook).
+type DistConfig = distmem.Config
+
+// DistResult reports a distributed solve.
+type DistResult = distmem.Result
+
+// SolveDistributed runs the message-passing asynchronous additive solve.
+func SolveDistributed(s *Setup, b []float64, cfg DistConfig) (*DistResult, error) {
+	return distmem.Solve(s, b, cfg)
+}
+
+// ---- Matrix Market I/O ----
+
+// ReadMatrixMarket parses a Matrix Market stream (coordinate format,
+// real/integer/pattern, general/symmetric) into a Matrix.
+func ReadMatrixMarket(r io.Reader) (*Matrix, error) { return mtx.Read(r) }
+
+// ReadMatrixMarketFile reads a Matrix Market file from disk.
+func ReadMatrixMarketFile(path string) (*Matrix, error) { return mtx.ReadFile(path) }
+
+// WriteMatrixMarket emits a Matrix in Matrix Market coordinate/real/general
+// format.
+func WriteMatrixMarket(w io.Writer, a *Matrix) error { return mtx.Write(w, a) }
+
+// WriteMatrixMarketFile writes a Matrix to a Matrix Market file.
+func WriteMatrixMarketFile(path string, a *Matrix) error { return mtx.WriteFile(path, a) }
+
+// ---- Convergence diagnostics ----
+
+// AsyncSmootherRadius estimates ρ(|I − diag(scale)·A|): the asynchronous
+// smoother iteration of Equation 5 converges when this is below 1. scale is
+// obtained from the smoother configuration via InterpolantScaling-style
+// diagonal scalings; pass ω/diag(A) for ω-Jacobi.
+func AsyncSmootherRadius(a *Matrix, scale []float64) (float64, error) {
+	return spectral.AsyncSmootherRadius(a, scale)
+}
+
+// SpectralRadius estimates the spectral radius of a non-negative matrix via
+// the power method.
+func SpectralRadius(a *Matrix, tol float64, maxIter int) (float64, error) {
+	return spectral.Radius(a, tol, maxIter)
+}
+
+// SmootherScaling returns the diagonal scaling vector of a smoother's
+// iteration matrix G = I − diag(s)·A (ω/a_ii for ω-Jacobi and the
+// GS-family smoothers' interpolant scaling, 1/Σ|a_ij| for ℓ1-Jacobi).
+func SmootherScaling(a *Matrix, cfg SmootherConfig) ([]float64, error) {
+	return smoother.InterpolantScaling(a, cfg)
+}
+
+// ConvergenceFactor estimates the asymptotic per-cycle convergence factor
+// of a method on a setup (power iteration on the homogeneous problem). A
+// factor below 1 means the method converges as a standalone solver; BPX's
+// exceeds 1 (the over-correction that motivates Multadd and AFACx).
+func ConvergenceFactor(s *Setup, m Method, iters int, seed int64) float64 {
+	return s.ConvergenceFactor(m, iters, seed)
+}
+
+// ---- Chaotic relaxation (Section II.C, Equation 5) ----
+
+// ChaoticConfig parameterizes a distributed (a)synchronous relaxation
+// solve: row-block processes exchanging halo values through newest-wins
+// mailboxes — the Chazan-Miranker chaotic relaxation the paper's theory
+// builds on.
+type ChaoticConfig = chaotic.Config
+
+// ChaoticResult reports a chaotic relaxation solve.
+type ChaoticResult = chaotic.Result
+
+// Relaxation kinds for SolveChaotic.
+const (
+	ChaoticJacobi      = chaotic.Jacobi
+	ChaoticGaussSeidel = chaotic.GaussSeidel
+)
+
+// SolveChaotic runs the distributed asynchronous relaxation of Equation 5
+// on A x = b. It converges whenever AsyncSmootherRadius(a, scale) < 1.
+func SolveChaotic(a *Matrix, b []float64, cfg ChaoticConfig) (*ChaoticResult, error) {
+	return chaotic.Solve(a, b, cfg)
+}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"testing"
+
+	"asyncmg/internal/harness"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 2,3")
+	if err != nil || len(got) != 3 || got[2] != 3 {
+		t.Errorf("parseInts = %v, %v", got, err)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Error("bad int accepted")
+	}
+}
+
+func TestApplyOverrides(t *testing.T) {
+	p := harness.DefaultProtocol()
+	applyOverrides(&p, 7, 9, 1e-5)
+	if p.Runs != 7 || p.Threads != 9 || p.Tau != 1e-5 {
+		t.Errorf("overrides not applied: %+v", p)
+	}
+	q := harness.DefaultProtocol()
+	applyOverrides(&q, 0, 0, 0)
+	if q.Runs != harness.DefaultProtocol().Runs {
+		t.Error("zero overrides must be no-ops")
+	}
+}

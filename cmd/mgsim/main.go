@@ -1,0 +1,105 @@
+// Command mgsim runs the Section III model simulations and regenerates the
+// series of Figures 1 and 2 of the paper: final relative residual after a
+// fixed number of corrections versus grid length, sweeping the minimum
+// update probability α (Figure 1) or the maximum read delay δ (Figure 2).
+//
+// Examples:
+//
+//	mgsim -fig 1                                # both methods, paper defaults (scaled)
+//	mgsim -fig 2 -sizes 10,14,18 -runs 10
+//	mgsim -fig 1 -method afacx -full            # paper-scale sizes 40..80 (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"asyncmg/internal/harness"
+	"asyncmg/internal/mg"
+	"asyncmg/internal/model"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mgsim: ")
+
+	fig := flag.Int("fig", 1, "figure to regenerate: 1 (semi-async) or 2 (full-async)")
+	method := flag.String("method", "both", "multadd, afacx, or both")
+	sizes := flag.String("sizes", "", "comma-separated grid lengths (default scaled; -full for paper scale)")
+	runs := flag.Int("runs", 5, "runs per data point (paper: 20)")
+	updates := flag.Int("updates", 20, "corrections per grid (paper: 20)")
+	full := flag.Bool("full", false, "use the paper's sizes 40,50,...,80 (slow: hours)")
+	flag.Parse()
+
+	sz, err := parseSizes(*sizes, *full)
+	if err != nil {
+		log.Fatal(err)
+	}
+	methods, err := parseMethods(*method)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch *fig {
+	case 1:
+		for _, m := range methods {
+			cfg := harness.DefaultFig1(m)
+			cfg.Sizes = sz
+			cfg.Runs = *runs
+			cfg.Updates = *updates
+			if err := harness.Fig1(os.Stdout, cfg); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println()
+		}
+	case 2:
+		for _, m := range methods {
+			for _, v := range []model.Variant{model.FullAsyncSolution, model.FullAsyncResidual} {
+				cfg := harness.DefaultFig2(m, v)
+				cfg.Sizes = sz
+				cfg.Runs = *runs
+				cfg.Updates = *updates
+				if err := harness.Fig2(os.Stdout, cfg); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Println()
+			}
+		}
+	default:
+		log.Fatalf("unknown figure %d (want 1 or 2)", *fig)
+	}
+}
+
+func parseSizes(s string, full bool) ([]int, error) {
+	if s == "" {
+		if full {
+			return []int{40, 50, 60, 70, 80}, nil
+		}
+		return []int{10, 14, 18}, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad size %q: %v", f, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func parseMethods(s string) ([]mg.Method, error) {
+	switch strings.ToLower(s) {
+	case "multadd":
+		return []mg.Method{mg.Multadd}, nil
+	case "afacx":
+		return []mg.Method{mg.AFACx}, nil
+	case "both":
+		return []mg.Method{mg.AFACx, mg.Multadd}, nil
+	}
+	return nil, fmt.Errorf("unknown method %q (want multadd, afacx, both)", s)
+}

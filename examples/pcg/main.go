@@ -1,0 +1,63 @@
+// Preconditioned conjugate gradients with multigrid preconditioners: the
+// proper use of BPX ("typically used as a preconditioner", Section II.B of
+// the paper). The example writes a generated system to a Matrix Market
+// file, reads it back (demonstrating interoperability with external test
+// collections), and compares plain CG against BPX- and
+// symmetrized-Multadd-preconditioned CG.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"asyncmg"
+)
+
+func main() {
+	// Generate and round-trip the system through Matrix Market.
+	a := asyncmg.Laplacian7pt(14)
+	dir, err := os.MkdirTemp("", "asyncmg-pcg")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "laplace7pt.mtx")
+	if err := asyncmg.WriteMatrixMarketFile(path, a); err != nil {
+		log.Fatal(err)
+	}
+	a, err = asyncmg.ReadMatrixMarketFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("system: %d rows, %d nonzeros (via %s)\n", a.Rows, a.NNZ(), filepath.Base(path))
+
+	amgOpt := asyncmg.DefaultAMGOptions()
+	amgOpt.AggressiveLevels = 0
+	setup, err := asyncmg.NewSetup(a, amgOpt, asyncmg.DefaultSmoother())
+	if err != nil {
+		log.Fatal(err)
+	}
+	b := asyncmg.RandomRHS(a.Rows, 11)
+
+	run := func(label string, m asyncmg.Preconditioner) {
+		opt := asyncmg.DefaultCGOptions()
+		opt.M = m
+		res, err := asyncmg.SolveCG(a, b, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-28s %4d iterations, rel res %.2e\n", label, res.Iterations, res.RelRes)
+	}
+
+	fmt.Println("\nCG at tolerance 1e-9:")
+	run("plain CG", nil)
+	run("BPX-preconditioned", asyncmg.NewMGPreconditioner(setup, asyncmg.BPX))
+	sym := asyncmg.NewMGPreconditioner(setup, asyncmg.Multadd)
+	sym.Symmetrized = true
+	run("symmetrized-Multadd", sym)
+
+	fmt.Println("\nBPX diverges as a standalone solver (over-correction) but makes")
+	fmt.Println("an excellent preconditioner — the paper's Section II.B observation.")
+}

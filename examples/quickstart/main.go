@@ -1,0 +1,48 @@
+// Quickstart: build a 3-D Poisson problem, set up the multigrid hierarchy,
+// and solve it with asynchronous additive multigrid (Multadd, local-res,
+// atomic-write) — the paper's recommended configuration.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"asyncmg"
+)
+
+func main() {
+	// 27-point Laplacian on a 16³ grid: 4096 unknowns.
+	a := asyncmg.Laplacian27pt(16)
+
+	// AMG setup with the paper's BoomerAMG-style defaults (HMIS coarsening,
+	// classical modified interpolation, one aggressive level) and ω-Jacobi
+	// smoothing.
+	setup, err := asyncmg.NewSetup(a, asyncmg.DefaultAMGOptions(), asyncmg.DefaultSmoother())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hierarchy levels: %v (operator complexity %.2f)\n",
+		setup.H.GridSizes(), setup.H.OperatorComplexity())
+
+	// Random right-hand side in [-1, 1], as in the paper's test framework.
+	b := asyncmg.RandomRHS(a.Rows, 1)
+
+	// Asynchronous solve: goroutine teams per grid, no global barriers.
+	res, err := asyncmg.SolveAsync(setup, b, asyncmg.AsyncConfig{
+		Method:    asyncmg.Multadd,
+		Write:     asyncmg.AtomicWrite,
+		Res:       asyncmg.LocalRes,
+		Criterion: asyncmg.Criterion1,
+		Threads:   8,
+		MaxCycles: 30,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("async Multadd: rel res %.3e after %v (per-grid corrections %v)\n",
+		res.RelRes, res.Elapsed, res.Corrections)
+
+	// Compare with the classical multiplicative V(1,1)-cycle.
+	_, hist := asyncmg.SolveSync(setup, asyncmg.Mult, b, 30)
+	fmt.Printf("sync Mult:     rel res %.3e after 30 V-cycles\n", hist[len(hist)-1])
+}

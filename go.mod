@@ -1,0 +1,3 @@
+module asyncmg
+
+go 1.22

@@ -1,0 +1,172 @@
+package amg
+
+import (
+	"fmt"
+
+	"asyncmg/internal/dense"
+	"asyncmg/internal/sparse"
+)
+
+// Options configures the AMG setup. The zero value is not valid; use
+// DefaultOptions and modify.
+type Options struct {
+	// Theta is the strength-of-connection threshold.
+	Theta float64
+	// Coarsening selects PMIS or HMIS.
+	Coarsening CoarsenMethod
+	// AggressiveLevels applies aggressive (distance-two) coarsening on the
+	// first this-many levels, as in the paper's BoomerAMG configuration
+	// ("HMIS coarsening with one/two aggressive levels").
+	AggressiveLevels int
+	// Interp selects the interpolation scheme for non-aggressive levels.
+	// Aggressive levels always use multipass interpolation (required,
+	// since F points can be two strong edges from every C point).
+	Interp InterpType
+	// TruncMax limits interpolation stencil size per row (0 = unlimited).
+	TruncMax int
+	// TruncTol drops interpolation entries below TruncTol times the row
+	// max magnitude.
+	TruncTol float64
+	// MaxLevels caps the hierarchy depth (including the finest level).
+	MaxLevels int
+	// MinCoarse stops coarsening when a level has at most this many rows.
+	MinCoarse int
+	// Seed feeds the randomized coarsening tie-breakers.
+	Seed int64
+	// NumFunctions enables the "unknown approach" for PDE systems with
+	// interleaved degrees of freedom (e.g. 3 for 3-D elasticity with
+	// x/y/z displacements per node): strength of connection, coarsening
+	// and interpolation are restricted to same-function couplings, and
+	// each coarse point inherits its fine point's function. 0 or 1 means
+	// a scalar problem.
+	NumFunctions int
+}
+
+// DefaultOptions mirrors the paper's BoomerAMG configuration: HMIS
+// coarsening, classical modified interpolation, one aggressive level,
+// moderate truncation.
+func DefaultOptions() Options {
+	return Options{
+		Theta:            0.25,
+		Coarsening:       HMIS,
+		AggressiveLevels: 1,
+		Interp:           ClassicalModified,
+		TruncMax:         4,
+		TruncTol:         0.0,
+		MaxLevels:        25,
+		MinCoarse:        40,
+		Seed:             7,
+	}
+}
+
+// Level is one level of the multigrid hierarchy.
+type Level struct {
+	// A is the operator on this level (Galerkin product below the finest).
+	A *sparse.CSR
+	// P prolongates from the next coarser level to this one; nil on the
+	// coarsest level.
+	P *sparse.CSR
+	// Types is the C/F splitting used to build P; nil on the coarsest.
+	Types []PointType
+}
+
+// Hierarchy is the output of the AMG setup: level 0 is the finest grid.
+type Hierarchy struct {
+	Levels []Level
+	// Coarse is the LU factorization of the coarsest operator, or nil if
+	// the coarsest matrix was singular (solvers then fall back to
+	// smoothing on the coarsest level, as AFACx does anyway).
+	Coarse *dense.LU
+}
+
+// NumLevels returns the number of levels (>= 1).
+func (h *Hierarchy) NumLevels() int { return len(h.Levels) }
+
+// OperatorComplexity returns Σ_k nnz(A_k) / nnz(A_0), the standard AMG
+// grid-complexity metric.
+func (h *Hierarchy) OperatorComplexity() float64 {
+	total := 0
+	for _, l := range h.Levels {
+		total += l.A.NNZ()
+	}
+	return float64(total) / float64(h.Levels[0].A.NNZ())
+}
+
+// Build runs the AMG setup phase on the fine-grid matrix a.
+func Build(a *sparse.CSR, opt Options) (*Hierarchy, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("amg: matrix must be square, got %dx%d", a.Rows, a.Cols)
+	}
+	if opt.MaxLevels < 1 {
+		return nil, fmt.Errorf("amg: MaxLevels must be >= 1, got %d", opt.MaxLevels)
+	}
+	h := &Hierarchy{}
+	cur := a
+	// Function map for the unknown approach (nil for scalar problems).
+	var fun []int
+	if opt.NumFunctions > 1 {
+		if a.Rows%opt.NumFunctions != 0 {
+			return nil, fmt.Errorf("amg: %d rows not divisible by NumFunctions %d", a.Rows, opt.NumFunctions)
+		}
+		fun = make([]int, a.Rows)
+		for i := range fun {
+			fun[i] = i % opt.NumFunctions
+		}
+	}
+	for lvl := 0; ; lvl++ {
+		if lvl == opt.MaxLevels-1 || cur.Rows <= opt.MinCoarse {
+			h.Levels = append(h.Levels, Level{A: cur})
+			break
+		}
+		s := StrengthGraphFunc(cur, opt.Theta, fun)
+		aggressive := lvl < opt.AggressiveLevels
+		var types []PointType
+		if aggressive {
+			types = CoarsenAggressive(s, opt.Coarsening, opt.Seed+int64(lvl))
+		} else {
+			types = Coarsen(s, opt.Coarsening, opt.Seed+int64(lvl))
+		}
+		nc := CountC(types)
+		if nc == 0 || nc >= cur.Rows {
+			// Coarsening stalled; stop here.
+			h.Levels = append(h.Levels, Level{A: cur})
+			break
+		}
+		it := opt.Interp
+		if aggressive {
+			it = Multipass
+		}
+		p := BuildInterpolationFunc(cur, s, types, it, fun)
+		if opt.TruncMax > 0 || opt.TruncTol > 0 {
+			p = TruncateInterp(p, opt.TruncTol, opt.TruncMax)
+		}
+		next := sparse.RAP(cur, p)
+		h.Levels = append(h.Levels, Level{A: cur, P: p, Types: types})
+		// Coarse points inherit their fine point's function.
+		if fun != nil {
+			coarseFun := make([]int, 0, nc)
+			for i, t := range types {
+				if t == CPoint {
+					coarseFun = append(coarseFun, fun[i])
+				}
+			}
+			fun = coarseFun
+		}
+		cur = next
+	}
+	// Factor the coarsest operator for exact solves.
+	lu, err := dense.Factor(h.Levels[len(h.Levels)-1].A)
+	if err == nil {
+		h.Coarse = lu
+	}
+	return h, nil
+}
+
+// GridSizes returns the number of rows on each level, finest first.
+func (h *Hierarchy) GridSizes() []int {
+	out := make([]int, len(h.Levels))
+	for i, l := range h.Levels {
+		out[i] = l.A.Rows
+	}
+	return out
+}

@@ -1,0 +1,465 @@
+package amg
+
+import (
+	"math"
+
+	"asyncmg/internal/sparse"
+)
+
+// InterpType selects how prolongation operators are built.
+type InterpType int
+
+const (
+	// ClassicalModified is Ruge-Stüben classical interpolation with the
+	// standard modifications for weak connections and non-M-matrix rows
+	// (weak couplings lumped to the diagonal; strong F-F connections
+	// distributed through shared C points, falling back to diagonal lumping
+	// when no shared C point exists). This is BoomerAMG's "classical
+	// modified interpolation" used throughout the paper.
+	ClassicalModified InterpType = iota
+	// Direct interpolation uses only the C points in each row with the
+	// row-sum-preserving scaling. Cheapest, used as a reference.
+	Direct
+	// Multipass interpolation interpolates rows with no direct C
+	// neighbours through already-interpolated neighbours in successive
+	// passes. Required for aggressive coarsening, where F points can be
+	// distance two from every C point.
+	Multipass
+)
+
+func (t InterpType) String() string {
+	switch t {
+	case ClassicalModified:
+		return "classical-modified"
+	case Direct:
+		return "direct"
+	case Multipass:
+		return "multipass"
+	}
+	return "unknown"
+}
+
+// coarseIndex numbers the C points consecutively; -1 for F points.
+func coarseIndex(types []PointType) (idx []int, nc int) {
+	idx = make([]int, len(types))
+	for i, t := range types {
+		if t == CPoint {
+			idx[i] = nc
+			nc++
+		} else {
+			idx[i] = -1
+		}
+	}
+	return
+}
+
+// BuildInterpolation constructs the prolongation matrix P (n × nc) for the
+// given splitting using the requested scheme. Rows of C points are identity
+// rows. The matrix A and its strength graph s must correspond.
+func BuildInterpolation(a *sparse.CSR, s *Strength, types []PointType, typ InterpType) *sparse.CSR {
+	return BuildInterpolationFunc(a, s, types, typ, nil)
+}
+
+// BuildInterpolationFunc is BuildInterpolation with the unknown-approach
+// function map: when fun is non-nil, row sums in the direct and multipass
+// formulas are restricted to same-function couplings (cross-function
+// entries behave as weak connections, matching StrengthGraphFunc).
+func BuildInterpolationFunc(a *sparse.CSR, s *Strength, types []PointType, typ InterpType, fun []int) *sparse.CSR {
+	switch typ {
+	case Direct:
+		return directInterp(a, s, types, fun)
+	case Multipass:
+		return multipassInterp(a, s, types, fun)
+	default:
+		return classicalInterp(a, s, types)
+	}
+}
+
+// directInterp builds direct interpolation:
+//
+//	w_ij = -α_i a_ij / a_ii,  α_i = Σ_{k≠i} a_ik / Σ_{j∈C_i} a_ij
+//
+// which preserves row sums (interpolates constants exactly for zero-row-sum
+// operators). Rows with no strong C neighbour or a degenerate denominator
+// get an empty P row (no coarse correction for that point).
+func directInterp(a *sparse.CSR, s *Strength, types []PointType, fun []int) *sparse.CSR {
+	cidx, nc := coarseIndex(types)
+	p := &sparse.CSR{Rows: a.Rows, Cols: nc, RowPtr: make([]int, a.Rows+1)}
+	isStrong := strongSet(s)
+	sameFun := func(i, j int) bool { return fun == nil || fun[i] == fun[j] }
+	for i := 0; i < a.Rows; i++ {
+		if types[i] == CPoint {
+			p.ColIdx = append(p.ColIdx, cidx[i])
+			p.Vals = append(p.Vals, 1)
+			p.RowPtr[i+1] = len(p.Vals)
+			continue
+		}
+		var diag, rowSum, cSum float64
+		for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
+			j := a.ColIdx[q]
+			v := a.Vals[q]
+			if j == i {
+				diag = v
+				continue
+			}
+			if !sameFun(i, j) {
+				continue
+			}
+			rowSum += v
+			if types[j] == CPoint && isStrong(i, j) {
+				cSum += v
+			}
+		}
+		if diag == 0 || cSum == 0 {
+			p.RowPtr[i+1] = len(p.Vals)
+			continue
+		}
+		alpha := rowSum / cSum
+		for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
+			j := a.ColIdx[q]
+			if j == i || types[j] != CPoint || !isStrong(i, j) {
+				continue
+			}
+			w := -alpha * a.Vals[q] / diag
+			p.ColIdx = append(p.ColIdx, cidx[j])
+			p.Vals = append(p.Vals, w)
+		}
+		p.RowPtr[i+1] = len(p.Vals)
+	}
+	return p
+}
+
+// classicalInterp builds Ruge-Stüben classical interpolation with the
+// "modified" treatment:
+//
+//	w_ij = -( a_ij + Σ_{k∈Fs_i} a_ik ā_kj / Σ_{m∈C_i} ā_km ) / ( a_ii + Σ_{n∈Nw_i} a_in )
+//
+// where Fs_i are strong F neighbours, C_i strong C neighbours, Nw_i weak
+// neighbours, and ā are entries filtered to the sign opposite the diagonal
+// (the modification that keeps the formula stable on non-M matrices). A
+// strong F neighbour k with no C point shared with i is lumped onto the
+// diagonal instead.
+func classicalInterp(a *sparse.CSR, s *Strength, types []PointType) *sparse.CSR {
+	cidx, nc := coarseIndex(types)
+	p := &sparse.CSR{Rows: a.Rows, Cols: nc, RowPtr: make([]int, a.Rows+1)}
+	isStrong := strongSet(s)
+
+	// Workspace mapping coarse column -> accumulator slot for row i.
+	slot := make([]int, a.Rows)
+	for i := range slot {
+		slot[i] = -1
+	}
+	var cols []int
+	var wts []float64
+
+	for i := 0; i < a.Rows; i++ {
+		if types[i] == CPoint {
+			p.ColIdx = append(p.ColIdx, cidx[i])
+			p.Vals = append(p.Vals, 1)
+			p.RowPtr[i+1] = len(p.Vals)
+			continue
+		}
+		cols = cols[:0]
+		wts = wts[:0]
+		diag := 0.0
+		// First sweep: collect C_i (strong C neighbours) and the diagonal,
+		// lump weak connections onto the diagonal.
+		for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
+			j := a.ColIdx[q]
+			v := a.Vals[q]
+			switch {
+			case j == i:
+				diag += v
+			case isStrong(i, j) && types[j] == CPoint:
+				slot[j] = len(cols)
+				cols = append(cols, j)
+				wts = append(wts, v)
+			case !isStrong(i, j):
+				diag += v // weak neighbours (C or F) are lumped
+			}
+		}
+		diagSign := 1.0
+		if diag < 0 {
+			diagSign = -1
+		}
+		// Second sweep: distribute strong F neighbours through shared C
+		// points.
+		for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
+			k := a.ColIdx[q]
+			if k == i || !isStrong(i, k) || types[k] != FPoint {
+				continue
+			}
+			aik := a.Vals[q]
+			// Denominator: Σ over C_i of the sign-filtered a_km.
+			den := 0.0
+			for r := a.RowPtr[k]; r < a.RowPtr[k+1]; r++ {
+				m := a.ColIdx[r]
+				if m == k || slot[m] < 0 {
+					continue
+				}
+				if a.Vals[r]*diagSign < 0 { // sign opposite the diagonal
+					den += a.Vals[r]
+				}
+			}
+			if den == 0 {
+				// No usable shared C point: lump a_ik onto the diagonal.
+				diag += aik
+				continue
+			}
+			scale := aik / den
+			for r := a.RowPtr[k]; r < a.RowPtr[k+1]; r++ {
+				m := a.ColIdx[r]
+				if m == k || slot[m] < 0 {
+					continue
+				}
+				if a.Vals[r]*diagSign < 0 {
+					wts[slot[m]] += scale * a.Vals[r]
+				}
+			}
+		}
+		if diag != 0 {
+			inv := -1 / diag
+			for z, j := range cols {
+				w := wts[z] * inv
+				if w != 0 {
+					p.ColIdx = append(p.ColIdx, cidx[j])
+					p.Vals = append(p.Vals, w)
+				}
+			}
+			// Keep columns sorted: cols came from a sorted CSR row, and we
+			// appended in that order, so they are already ascending.
+		}
+		for _, j := range cols {
+			slot[j] = -1
+		}
+		p.RowPtr[i+1] = len(p.Vals)
+	}
+	return p
+}
+
+// multipassInterp builds Stüben multipass interpolation. C rows are
+// identity. Pass 1 gives direct interpolation to rows with strong C
+// neighbours. Later passes interpolate remaining rows through
+// already-interpolated strong neighbours, composing their P rows. Rows that
+// never acquire an interpolated strong neighbour end up empty.
+func multipassInterp(a *sparse.CSR, s *Strength, types []PointType, fun []int) *sparse.CSR {
+	cidx, nc := coarseIndex(types)
+	isStrong := strongSet(s)
+	sameFun := func(i, j int) bool { return fun == nil || fun[i] == fun[j] }
+	n := a.Rows
+
+	// Per-row assembled interpolation stencils (dense maps are fine: rows
+	// are short).
+	rowCols := make([][]int, n)
+	rowVals := make([][]float64, n)
+	done := make([]bool, n)
+
+	for i := 0; i < n; i++ {
+		if types[i] == CPoint {
+			rowCols[i] = []int{cidx[i]}
+			rowVals[i] = []float64{1}
+			done[i] = true
+		}
+	}
+	// Pass 1: direct interpolation.
+	for i := 0; i < n; i++ {
+		if done[i] {
+			continue
+		}
+		var diag, rowSum, cSum float64
+		for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
+			j := a.ColIdx[q]
+			v := a.Vals[q]
+			if j == i {
+				diag = v
+				continue
+			}
+			if !sameFun(i, j) {
+				continue
+			}
+			rowSum += v
+			if types[j] == CPoint && isStrong(i, j) {
+				cSum += v
+			}
+		}
+		if diag == 0 || cSum == 0 {
+			continue
+		}
+		alpha := rowSum / cSum
+		for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
+			j := a.ColIdx[q]
+			if j == i || types[j] != CPoint || !isStrong(i, j) {
+				continue
+			}
+			rowCols[i] = append(rowCols[i], cidx[j])
+			rowVals[i] = append(rowVals[i], -alpha*a.Vals[q]/diag)
+		}
+		done[i] = len(rowCols[i]) > 0
+	}
+	// Later passes: compose through done strong neighbours.
+	acc := map[int]float64{}
+	for {
+		progress := false
+		for i := 0; i < n; i++ {
+			if done[i] {
+				continue
+			}
+			var diag, rowSum, dSum float64
+			for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
+				j := a.ColIdx[q]
+				v := a.Vals[q]
+				if j == i {
+					diag = v
+					continue
+				}
+				if !sameFun(i, j) {
+					continue
+				}
+				rowSum += v
+				if isStrong(i, j) && done[j] {
+					dSum += v
+				}
+			}
+			if diag == 0 || dSum == 0 {
+				continue
+			}
+			alpha := rowSum / dSum
+			clear(acc)
+			for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
+				k := a.ColIdx[q]
+				if k == i || !isStrong(i, k) || !done[k] {
+					continue
+				}
+				wk := -alpha * a.Vals[q] / diag
+				for z, c := range rowCols[k] {
+					acc[c] += wk * rowVals[k][z]
+				}
+			}
+			if len(acc) == 0 {
+				continue
+			}
+			cs := make([]int, 0, len(acc))
+			for c := range acc {
+				cs = append(cs, c)
+			}
+			sortInts(cs)
+			vs := make([]float64, len(cs))
+			for z, c := range cs {
+				vs[z] = acc[c]
+			}
+			rowCols[i], rowVals[i] = cs, vs
+			done[i] = true
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+	// Assemble CSR.
+	p := &sparse.CSR{Rows: n, Cols: nc, RowPtr: make([]int, n+1)}
+	for i := 0; i < n; i++ {
+		p.ColIdx = append(p.ColIdx, rowCols[i]...)
+		p.Vals = append(p.Vals, rowVals[i]...)
+		p.RowPtr[i+1] = len(p.Vals)
+	}
+	return p
+}
+
+// strongSet returns a membership predicate over the strength graph with
+// O(1) expected lookups.
+func strongSet(s *Strength) func(i, j int) bool {
+	sets := make([]map[int]struct{}, s.N)
+	for i, row := range s.Rows {
+		if len(row) == 0 {
+			continue
+		}
+		m := make(map[int]struct{}, len(row))
+		for _, j := range row {
+			m[j] = struct{}{}
+		}
+		sets[i] = m
+	}
+	return func(i, j int) bool {
+		m := sets[i]
+		if m == nil {
+			return false
+		}
+		_, ok := m[j]
+		return ok
+	}
+}
+
+// TruncateInterp limits each row of P to its maxPerRow largest-magnitude
+// entries and drops entries below relTol times the row's largest magnitude,
+// rescaling the kept entries so the row sum is preserved (BoomerAMG's
+// interpolation truncation). maxPerRow <= 0 means unlimited.
+func TruncateInterp(p *sparse.CSR, relTol float64, maxPerRow int) *sparse.CSR {
+	out := &sparse.CSR{Rows: p.Rows, Cols: p.Cols, RowPtr: make([]int, p.Rows+1)}
+	type ent struct {
+		col int
+		val float64
+	}
+	var row []ent
+	for i := 0; i < p.Rows; i++ {
+		row = row[:0]
+		rowSum := 0.0
+		maxMag := 0.0
+		for q := p.RowPtr[i]; q < p.RowPtr[i+1]; q++ {
+			v := p.Vals[q]
+			rowSum += v
+			if m := math.Abs(v); m > maxMag {
+				maxMag = m
+			}
+			row = append(row, ent{p.ColIdx[q], v})
+		}
+		if len(row) == 0 {
+			out.RowPtr[i+1] = len(out.Vals)
+			continue
+		}
+		// Drop small entries.
+		kept := row[:0]
+		for _, e := range row {
+			if math.Abs(e.val) >= relTol*maxMag {
+				kept = append(kept, e)
+			}
+		}
+		// Keep only the largest maxPerRow by magnitude.
+		if maxPerRow > 0 && len(kept) > maxPerRow {
+			// Selection sort of the top maxPerRow (rows are short).
+			for a := 0; a < maxPerRow; a++ {
+				best := a
+				for b := a + 1; b < len(kept); b++ {
+					if math.Abs(kept[b].val) > math.Abs(kept[best].val) {
+						best = b
+					}
+				}
+				kept[a], kept[best] = kept[best], kept[a]
+			}
+			kept = kept[:maxPerRow]
+			// Restore column order.
+			for a := 1; a < len(kept); a++ {
+				e := kept[a]
+				b := a - 1
+				for b >= 0 && kept[b].col > e.col {
+					kept[b+1] = kept[b]
+					b--
+				}
+				kept[b+1] = e
+			}
+		}
+		keptSum := 0.0
+		for _, e := range kept {
+			keptSum += e.val
+		}
+		scale := 1.0
+		if keptSum != 0 && rowSum != 0 {
+			scale = rowSum / keptSum
+		}
+		for _, e := range kept {
+			out.ColIdx = append(out.ColIdx, e.col)
+			out.Vals = append(out.Vals, e.val*scale)
+		}
+		out.RowPtr[i+1] = len(out.Vals)
+	}
+	return out
+}

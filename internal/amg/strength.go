@@ -1,0 +1,158 @@
+// Package amg implements the algebraic-multigrid setup phase used by every
+// solver in this repository — the role BoomerAMG plays in the paper. It
+// provides classical strength-of-connection, PMIS and HMIS coarsening,
+// aggressive (distance-two) coarsening levels, direct/classical-modified and
+// multipass interpolation, interpolation truncation, and the Galerkin
+// hierarchy builder.
+package amg
+
+import "asyncmg/internal/sparse"
+
+// Strength is the strong-connection graph of a matrix: Rows[i] lists the
+// columns j != i that strongly influence row i, sorted ascending.
+type Strength struct {
+	N    int
+	Rows [][]int
+}
+
+// StrengthGraph computes the classical strength-of-connection graph with
+// threshold theta: j strongly influences i when
+//
+//	-a_ij >= theta * max_{k != i} (-a_ik).
+//
+// For rows whose off-diagonal entries are all non-negative (non-M-matrix
+// rows, which occur in the FEM problems), the absolute-value variant
+// |a_ij| >= theta * max |a_ik| is used for that row instead, which is the
+// standard robust fallback.
+func StrengthGraph(a *sparse.CSR, theta float64) *Strength {
+	return StrengthGraphFunc(a, theta, nil)
+}
+
+// StrengthGraphFunc is StrengthGraph restricted to same-function couplings:
+// entry (i, j) is considered only when fun[i] == fun[j]. This is the
+// "unknown approach" for PDE systems (BoomerAMG's default for, e.g.,
+// elasticity): each solution component coarsens and interpolates through
+// its own couplings, and cross-component entries are treated as weak.
+// fun == nil treats all rows as one function.
+func StrengthGraphFunc(a *sparse.CSR, theta float64, fun []int) *Strength {
+	s := &Strength{N: a.Rows, Rows: make([][]int, a.Rows)}
+	sameFun := func(i, j int) bool { return fun == nil || fun[i] == fun[j] }
+	for i := 0; i < a.Rows; i++ {
+		maxNeg, maxAbs := 0.0, 0.0
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			j := a.ColIdx[p]
+			if j == i || !sameFun(i, j) {
+				continue
+			}
+			v := a.Vals[p]
+			if -v > maxNeg {
+				maxNeg = -v
+			}
+			av := v
+			if av < 0 {
+				av = -av
+			}
+			if av > maxAbs {
+				maxAbs = av
+			}
+		}
+		if maxAbs == 0 {
+			continue // isolated row
+		}
+		useAbs := maxNeg == 0
+		var thresh float64
+		if useAbs {
+			thresh = theta * maxAbs
+		} else {
+			thresh = theta * maxNeg
+		}
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			j := a.ColIdx[p]
+			if j == i || !sameFun(i, j) {
+				continue
+			}
+			v := a.Vals[p]
+			strong := false
+			if useAbs {
+				av := v
+				if av < 0 {
+					av = -av
+				}
+				strong = av >= thresh
+			} else {
+				strong = -v >= thresh
+			}
+			if strong {
+				s.Rows[i] = append(s.Rows[i], j)
+			}
+		}
+	}
+	return s
+}
+
+// Transpose returns the influence-transpose graph: T.Rows[j] lists the rows
+// i that j strongly influences (i.e., j ∈ S.Rows[i]).
+func (s *Strength) Transpose() *Strength {
+	t := &Strength{N: s.N, Rows: make([][]int, s.N)}
+	for i, row := range s.Rows {
+		for _, j := range row {
+			t.Rows[j] = append(t.Rows[j], i)
+		}
+	}
+	return t
+}
+
+// NNZ returns the number of strong connections.
+func (s *Strength) NNZ() int {
+	n := 0
+	for _, r := range s.Rows {
+		n += len(r)
+	}
+	return n
+}
+
+// distanceTwo builds the strength graph among the vertices marked keep,
+// where u ~ v when u != v, both are kept, and either u→v is a strong edge or
+// there is a path u→w→v of strong edges (w arbitrary). This is the graph on
+// which aggressive (distance-two) coarsening runs its second pass.
+func (s *Strength) distanceTwo(keep []bool) *Strength {
+	d2 := &Strength{N: s.N, Rows: make([][]int, s.N)}
+	mark := make([]int, s.N)
+	for i := range mark {
+		mark[i] = -1
+	}
+	for u := 0; u < s.N; u++ {
+		if !keep[u] {
+			continue
+		}
+		var nbrs []int
+		add := func(v int) {
+			if v != u && keep[v] && mark[v] != u {
+				mark[v] = u
+				nbrs = append(nbrs, v)
+			}
+		}
+		for _, w := range s.Rows[u] {
+			add(w)
+			for _, v := range s.Rows[w] {
+				add(v)
+			}
+		}
+		sortInts(nbrs)
+		d2.Rows[u] = nbrs
+	}
+	return d2
+}
+
+func sortInts(v []int) {
+	// Insertion sort: neighbour lists are short.
+	for i := 1; i < len(v); i++ {
+		x := v[i]
+		j := i - 1
+		for j >= 0 && v[j] > x {
+			v[j+1] = v[j]
+			j--
+		}
+		v[j+1] = x
+	}
+}

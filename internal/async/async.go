@@ -1,0 +1,399 @@
+// Package async implements the paper's asynchronous additive multigrid for
+// shared memory (Section IV): goroutine teams pinned to grids, the
+// global-res and local-res algorithms (Algorithms 3-5), the lock-write and
+// atomic-write options for racing updates of the global solution, the
+// residual-based r-Multadd variant, the two stopping criteria, and — for the
+// baselines of Table I and Figure 6 — team-parallel synchronous Multadd /
+// AFACx and the team-parallel classical multiplicative V-cycle (Mult).
+//
+// The global solution x (and the global residual r, when one exists) are
+// vec.Atomic vectors: every cross-team read and write is an atomic
+// per-element operation, so mixed-age reads — the defining feature of the
+// full-async model — occur freely while the implementation stays free of Go
+// data races.
+package async
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"asyncmg/internal/mg"
+	"asyncmg/internal/partition"
+	"asyncmg/internal/smoother"
+	"asyncmg/internal/vec"
+)
+
+// WriteMode selects how racing updates to global vectors are performed.
+type WriteMode int
+
+const (
+	// LockWrite serializes whole-vector updates behind a mutex: the team's
+	// master acquires the lock, the team applies its update with a
+	// parallel loop, and the master releases it.
+	LockWrite WriteMode = iota
+	// AtomicWrite uses per-element fetch-and-add (CAS on the float64 bit
+	// pattern) inside the parallel loop, with no lock.
+	AtomicWrite
+)
+
+func (w WriteMode) String() string {
+	if w == AtomicWrite {
+		return "atomic-write"
+	}
+	return "lock-write"
+}
+
+// ResMode selects how the fine-grid residual is obtained (Section IV).
+type ResMode int
+
+const (
+	// LocalRes: each grid reads x and recomputes its own private copy of
+	// the fine residual r^k = b − A x^k. More computation per thread,
+	// better convergence.
+	LocalRes ResMode = iota
+	// GlobalRes: a single global residual vector is updated by all
+	// threads with a non-blocking parallel loop (each thread owns a static
+	// slice of rows), and grids copy it to local memory. Less computation,
+	// but grids may see residual components that are very out of date.
+	GlobalRes
+	// ResidualRes is the residual-based update of r-Multadd: the global
+	// residual is updated incrementally as r ← r − A e by the correcting
+	// grid (Equations 9/10), instead of being recomputed from x.
+	ResidualRes
+)
+
+func (r ResMode) String() string {
+	switch r {
+	case GlobalRes:
+		return "global-res"
+	case ResidualRes:
+		return "residual-res"
+	}
+	return "local-res"
+}
+
+// Criterion selects the paper's stopping rule.
+type Criterion int
+
+const (
+	// Criterion1: a grid exits as soon as it has done MaxCycles
+	// corrections, regardless of other grids.
+	Criterion1 Criterion = iota
+	// Criterion2: a master thread waits until every grid has done at
+	// least MaxCycles corrections and then raises a stop flag; grids keep
+	// correcting until they observe the flag.
+	Criterion2
+)
+
+func (c Criterion) String() string {
+	if c == Criterion2 {
+		return "criterion-2"
+	}
+	return "criterion-1"
+}
+
+// Config parameterizes a parallel solve.
+type Config struct {
+	// Method is mg.Multadd or mg.AFACx for the additive solvers, or
+	// mg.Mult for the synchronous multiplicative baseline.
+	Method mg.Method
+	// Sync runs the synchronous variant: all threads share one global
+	// barrier per cycle and the residual is recomputed globally, exactly
+	// like the paper's "sync Multadd"/"sync AFACx" baselines. Mult is
+	// always synchronous.
+	Sync bool
+	// Write selects lock-write or atomic-write for global updates.
+	Write WriteMode
+	// Res selects local-res, global-res, or the residual-based update.
+	// Ignored for Sync (the residual is recomputed globally each cycle)
+	// and for Mult.
+	Res ResMode
+	// Criterion selects the stopping rule for asynchronous runs.
+	Criterion Criterion
+	// Threads is the total number of goroutines; must be >= the number of
+	// grids for the additive methods.
+	Threads int
+	// MaxCycles is t_max: the number of corrections each grid performs.
+	MaxCycles int
+	// RecordHistory captures the relative residual after every cycle of a
+	// synchronous run (Sync or Mult) into Result.History. Asynchronous
+	// runs never compute norms mid-flight — exactly as in the paper, where
+	// norm computations would delay a grid — so the flag is ignored for
+	// them (re-run with increasing MaxCycles instead, as the measurement
+	// protocol does).
+	RecordHistory bool
+}
+
+// Result reports a parallel solve's outcome.
+type Result struct {
+	// X is the final solution iterate.
+	X []float64
+	// RelRes is ‖b − A X‖₂ / ‖b‖₂.
+	RelRes float64
+	// Corrections[k] is the number of corrections grid k performed.
+	Corrections []int
+	// AvgCorrects is the paper's "Corrects" column: total corrections
+	// divided by the number of grids.
+	AvgCorrects float64
+	// Elapsed is the wall-clock solve time (setup excluded).
+	Elapsed time.Duration
+	// Diverged is set when the iterate contains non-finite values (the
+	// paper's † marker).
+	Diverged bool
+	// History holds ‖r‖₂/‖b‖₂ after each cycle when RecordHistory was set
+	// on a synchronous run (History[0] == 1); nil otherwise.
+	History []float64
+}
+
+// Solve runs the configured parallel multigrid solver on A x = b, x0 = 0.
+func Solve(s *mg.Setup, b []float64, cfg Config) (*Result, error) {
+	if cfg.MaxCycles <= 0 {
+		return nil, fmt.Errorf("async: MaxCycles must be positive, got %d", cfg.MaxCycles)
+	}
+	if cfg.Threads <= 0 {
+		return nil, fmt.Errorf("async: Threads must be positive, got %d", cfg.Threads)
+	}
+	n := s.LevelSize(0)
+	if len(b) != n {
+		return nil, fmt.Errorf("async: len(b) = %d, want %d", len(b), n)
+	}
+	switch cfg.Method {
+	case mg.Mult:
+		return solveMult(s, b, cfg)
+	case mg.Multadd, mg.AFACx:
+		l := s.NumLevels()
+		if cfg.Threads < l {
+			return nil, fmt.Errorf("async: %d threads for %d grids; need at least one thread per grid", cfg.Threads, l)
+		}
+		if cfg.Res == ResidualRes && cfg.Method != mg.Multadd {
+			return nil, fmt.Errorf("async: residual-based update (r-Multadd) requires Multadd")
+		}
+		return solveAdditive(s, b, cfg)
+	default:
+		return nil, fmt.Errorf("async: method %v not supported", cfg.Method)
+	}
+}
+
+// solverState is the shared state of one additive parallel solve.
+type solverState struct {
+	s   *mg.Setup
+	cfg Config
+	n   int
+	b   []float64
+
+	x *vec.Atomic // global solution
+	r *vec.Atomic // global residual (global-res, residual-res, sync)
+
+	muX, muR sync.Mutex // lock-write mutexes
+
+	stop      atomic.Bool // criterion-2 stop flag
+	corrCount []atomic.Int64
+	// history[t+1] is the relative residual after cycle t (RecordHistory).
+	history []float64
+	normB   float64
+
+	globalBarrier *Barrier // sync mode only
+
+	grids []*gridRun
+}
+
+// gridRun is the per-grid team state.
+type gridRun struct {
+	rt   *solverState
+	k    int // grid (level) index
+	team *Barrier
+	m    int // team size
+
+	// fineRanges[tid] is this team's split of the fine grid rows.
+	fineRanges []partition.Range
+	// levelRanges[j][tid] splits level j's rows among the team.
+	levelRanges [][]partition.Range
+	// globalRanges[tid] is the team's share of the global-res parallel
+	// loop: each thread owns a static slice of ALL fine rows (the OpenMP
+	// static schedule of Algorithm 3 line 1 / Algorithm 5 lines 15-17).
+	globalRanges []partition.Range
+
+	// Per-level scratch shared by the team (disjoint row writes).
+	lvl, lvl2 [][]float64
+	// Fine-level local buffers: the team's snapshot of x and its local
+	// residual.
+	xk, rk []float64
+	// eBuf holds the level-k correction; modBuf the AFACx modified RHS.
+	eBuf, modBuf []float64
+	// smoothers with team-sized blocks for level k and (AFACx) k+1.
+	smo, smoNext *smoother.S
+	// eAtom is the level-k atomic buffer used by async GS smoothing.
+	eAtom *vec.Atomic
+	// stopLocal is thread 0's team-consistent break decision (written
+	// before a barrier, read after it).
+	stopLocal bool
+}
+
+// solveAdditive runs Multadd/AFACx, synchronous or asynchronous.
+func solveAdditive(s *mg.Setup, b []float64, cfg Config) (*Result, error) {
+	l := s.NumLevels()
+	rt := &solverState{
+		s: s, cfg: cfg, n: s.LevelSize(0), b: b,
+		x:         vec.NewAtomic(s.LevelSize(0)),
+		corrCount: make([]atomic.Int64, l),
+	}
+	needGlobalR := cfg.Sync || cfg.Res == GlobalRes || cfg.Res == ResidualRes
+	if needGlobalR {
+		rt.r = vec.NewAtomic(rt.n)
+		rt.r.SetAll(b) // r = b − A·0
+	}
+	if cfg.Sync {
+		rt.globalBarrier = NewBarrier(cfg.Threads)
+		if cfg.RecordHistory {
+			rt.history = make([]float64, cfg.MaxCycles+1)
+			rt.history[0] = 1
+			rt.normB = vec.Norm2(b)
+			if rt.normB == 0 {
+				rt.normB = 1
+			}
+		}
+	}
+
+	// Thread assignment proportional to per-grid work.
+	work := make([]float64, l)
+	for k := 0; k < l; k++ {
+		work[k] = gridWork(s, cfg, k)
+	}
+	counts := partition.Assign(work, cfg.Threads)
+
+	rt.grids = make([]*gridRun, l)
+	for k := 0; k < l; k++ {
+		g, err := newGridRun(rt, k, counts[k])
+		if err != nil {
+			return nil, err
+		}
+		rt.grids[k] = g
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, g := range rt.grids {
+		for tid := 0; tid < g.m; tid++ {
+			wg.Add(1)
+			go func(g *gridRun, tid int) {
+				defer wg.Done()
+				if cfg.Sync {
+					g.runSync(tid)
+				} else {
+					g.runAsync(tid)
+				}
+			}(g, tid)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	x := make([]float64, rt.n)
+	rt.x.Snapshot(x)
+	res := make([]float64, rt.n)
+	s.H.Levels[0].A.Residual(res, b, x)
+	nb := vec.Norm2(b)
+	if nb == 0 {
+		nb = 1
+	}
+	out := &Result{
+		X:           x,
+		RelRes:      vec.Norm2(res) / nb,
+		Corrections: make([]int, l),
+		Elapsed:     elapsed,
+		Diverged:    vec.HasNonFinite(x),
+	}
+	total := 0
+	for k := 0; k < l; k++ {
+		c := int(rt.corrCount[k].Load())
+		out.Corrections[k] = c
+		total += c
+	}
+	out.AvgCorrects = float64(total) / float64(l)
+	out.History = rt.history
+	return out, nil
+}
+
+// gridWork estimates grid k's per-correction flop count: the restriction
+// and prolongation chain down to level k, the smoothing work, and the
+// residual computation it is responsible for.
+func gridWork(s *mg.Setup, cfg Config, k int) float64 {
+	w := 0.0
+	chain := s.PBar
+	if cfg.Method == mg.AFACx {
+		chain = s.P
+	}
+	for j := 0; j < k; j++ {
+		w += 2 * float64(chain[j].NNZ()) // restrict + prolong
+	}
+	w += float64(s.H.Levels[k].A.NNZ()) // smoothing at level k
+	if cfg.Method == mg.AFACx && k < s.NumLevels()-1 {
+		// e_{k+1} smoothing plus the modified-RHS SpMV.
+		w += float64(s.H.Levels[k+1].A.NNZ()) + float64(s.P[k].NNZ()) + float64(s.H.Levels[k].A.NNZ())
+	}
+	switch {
+	case cfg.Sync || cfg.Res == LocalRes:
+		w += float64(s.H.Levels[0].A.NNZ()) // full fine residual per grid
+	default:
+		w += float64(s.H.Levels[0].A.NNZ()) / float64(s.NumLevels())
+	}
+	return w
+}
+
+func newGridRun(rt *solverState, k, m int) (*gridRun, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("async: grid %d received no threads", k)
+	}
+	s := rt.s
+	g := &gridRun{rt: rt, k: k, m: m, team: NewBarrier(m)}
+	g.fineRanges = partition.SplitRows(rt.n, m)
+	l := s.NumLevels()
+	g.levelRanges = make([][]partition.Range, l)
+	g.lvl = make([][]float64, l)
+	g.lvl2 = make([][]float64, l)
+	for j := 0; j <= k; j++ {
+		g.levelRanges[j] = partition.SplitRows(s.LevelSize(j), m)
+		g.lvl[j] = make([]float64, s.LevelSize(j))
+		g.lvl2[j] = make([]float64, s.LevelSize(j))
+	}
+	if k+1 < l {
+		g.levelRanges[k+1] = partition.SplitRows(s.LevelSize(k+1), m)
+		g.lvl[k+1] = make([]float64, s.LevelSize(k+1))
+		g.lvl2[k+1] = make([]float64, s.LevelSize(k+1))
+	}
+	g.xk = make([]float64, rt.n)
+	g.rk = make([]float64, rt.n)
+	g.eBuf = make([]float64, s.LevelSize(k))
+	g.modBuf = make([]float64, s.LevelSize(k))
+	copy(g.rk, rt.b) // Algorithm 5: initialize r^k = b
+
+	// The global-res loop splits ALL fine rows across ALL threads: this
+	// team's threads own a contiguous slab determined by the team's global
+	// thread offset.
+	offset := 0
+	for j := 0; j < k; j++ {
+		offset += rt.grids[j].m
+	}
+	all := partition.SplitRows(rt.n, rt.cfg.Threads)
+	g.globalRanges = all[offset : offset+m]
+
+	cfg := s.Cfg
+	cfg.Blocks = m
+	var err error
+	g.smo, err = smoother.New(s.H.Levels[k].A, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("async: grid %d smoother: %w", k, err)
+	}
+	if rt.cfg.Method == mg.AFACx && k+1 < l {
+		g.smoNext, err = smoother.New(s.H.Levels[k+1].A, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("async: grid %d next-level smoother: %w", k, err)
+		}
+	}
+	if s.Cfg.Kind == smoother.AsyncGS {
+		g.eAtom = vec.NewAtomic(s.LevelSize(k))
+	}
+	return g, nil
+}

@@ -1,0 +1,50 @@
+package async
+
+import "sync"
+
+// Barrier is a reusable (cyclic) barrier for a fixed-size group of
+// goroutines. It is the Go equivalent of the paper's Sync(t_i, ..., t_j)
+// operation: asynchronous multigrid replaces the global barrier with one
+// barrier per grid team, so threads synchronize only with teammates.
+type Barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	size  int
+	count int
+	gen   uint64
+}
+
+// NewBarrier returns a barrier for size goroutines. size must be >= 1.
+func NewBarrier(size int) *Barrier {
+	if size < 1 {
+		panic("async: barrier size must be >= 1")
+	}
+	b := &Barrier{size: size}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Size returns the number of participants.
+func (b *Barrier) Size() int { return b.size }
+
+// Wait blocks until all size goroutines have called Wait, then releases
+// them together. The barrier is immediately reusable.
+func (b *Barrier) Wait() {
+	if b.size == 1 {
+		return
+	}
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.size {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,376 @@
+package async
+
+import (
+	"math"
+	"runtime"
+
+	"asyncmg/internal/mg"
+	"asyncmg/internal/smoother"
+)
+
+// runAsync is the per-thread body of the asynchronous additive solve
+// (Algorithm 5). Each grid team loops: restrict its local residual to its
+// level, smooth (or exact-solve on the coarsest grid), prolongate the
+// correction to the fine grid, write it into the global x, read x back, and
+// refresh its residual via the configured local-res / global-res /
+// residual-based scheme. Teams never synchronize with each other (all
+// Sync() calls involve only teammates), except through the atomic global
+// vectors — that is the paper's definition of asynchronous multigrid.
+func (g *gridRun) runAsync(tid int) {
+	rt := g.rt
+	myCount := 0
+	for {
+		if tid == 0 {
+			switch rt.cfg.Criterion {
+			case Criterion1:
+				g.stopLocal = myCount >= rt.cfg.MaxCycles
+			default:
+				g.stopLocal = rt.stop.Load()
+			}
+		}
+		g.team.Wait()
+		if g.stopLocal {
+			return
+		}
+		// Acquire the freshest view of the shared state before computing
+		// the correction (on the first pass r^k = b from initialization).
+		// Algorithm 5's loop reads x and refreshes r^k once per iteration;
+		// cutting the cycle here rather than after the write reads the
+		// newest available residual slabs, which matters under cooperative
+		// scheduling.
+		if myCount > 0 {
+			g.readX(tid)
+			g.acquireResidual(tid)
+		}
+		out := g.computeCorrection(tid, g.rk)
+		g.writeX(tid, out)
+		g.publishResidual(tid, out)
+		myCount++
+		if tid == 0 {
+			rt.corrCount[g.k].Store(int64(myCount))
+			// Criterion 2: the master thread (grid 0, thread 0) raises the
+			// stop flag once every grid has done at least MaxCycles
+			// corrections.
+			if rt.cfg.Criterion == Criterion2 && g.k == 0 {
+				all := true
+				for j := range rt.corrCount {
+					if rt.corrCount[j].Load() < int64(rt.cfg.MaxCycles) {
+						all = false
+						break
+					}
+				}
+				if all {
+					rt.stop.Store(true)
+				}
+			}
+		}
+		// Yield between corrections. On machines with fewer cores than
+		// goroutines (the paper itself oversubscribes 272 threads on 68
+		// cores) run-to-completion scheduling would let a one-thread team
+		// burn through every correction against a frozen residual — the
+		// degenerate "unbalanced corrections" regime in which the paper
+		// notes grid-independent convergence is lost. A cooperative yield
+		// restores the fair interleaving a real parallel machine provides.
+		runtime.Gosched()
+	}
+}
+
+// runSync is the per-thread body of the synchronous additive baselines
+// ("sync Multadd" / "sync AFACx" in Table I): every cycle, all grids
+// correct concurrently from the same consistent residual, then every thread
+// joins a global barrier and the residual is recomputed with a global
+// parallel SpMV, exactly like classical multigrid's residual update.
+func (g *gridRun) runSync(tid int) {
+	rt := g.rt
+	for t := 0; t < rt.cfg.MaxCycles; t++ {
+		// Consistent snapshot of the global residual into team-local rk.
+		fr := g.fineRanges[tid]
+		rt.r.LoadRange(g.rk, fr.Lo, fr.Hi)
+		g.team.Wait()
+		out := g.computeCorrection(tid, g.rk)
+		g.writeX(tid, out)
+		rt.globalBarrier.Wait()
+		// Global residual recompute: each thread owns a static slice of all
+		// fine rows (OpenMP static schedule).
+		a := rt.s.H.Levels[0].A
+		gr := g.globalRanges[tid]
+		for i := gr.Lo; i < gr.Hi; i++ {
+			s := rt.b[i]
+			for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+				s -= a.Vals[p] * rt.x.Load(a.ColIdx[p])
+			}
+			rt.r.Store(i, s)
+		}
+		rt.globalBarrier.Wait()
+		if tid == 0 {
+			rt.corrCount[g.k].Store(int64(t + 1))
+		}
+		// Record the post-cycle residual norm. Only one thread computes it,
+		// and nothing writes the global residual until every thread passes
+		// the next cycle's global barrier (which the recorder must also
+		// reach), so no extra synchronization is needed.
+		if rt.history != nil && g.k == 0 && tid == 0 {
+			sum := 0.0
+			for i := 0; i < rt.n; i++ {
+				v := rt.r.Load(i)
+				sum += v * v
+			}
+			rt.history[t+1] = math.Sqrt(sum) / rt.normB
+		}
+	}
+}
+
+// computeCorrection performs grid k's correction from the team-local fine
+// residual rfine and returns the fine-level correction vector (a team-shared
+// buffer; fully populated after the internal barriers). The team must not
+// reuse rfine until the next cycle.
+func (g *gridRun) computeCorrection(tid int, rfine []float64) []float64 {
+	if g.rt.cfg.Method == mg.AFACx {
+		return g.afacxCorrection(tid, rfine)
+	}
+	return g.multaddCorrection(tid, rfine)
+}
+
+// multaddCorrection computes P̄⁰_k Λ_k (P̄⁰_k)ᵀ rfine with team-parallel
+// SpMVs and smoothing.
+func (g *gridRun) multaddCorrection(tid int, rfine []float64) []float64 {
+	s := g.rt.s
+	k := g.k
+	// Restrict through the smoothed chain.
+	cur := rfine
+	for j := 0; j < k; j++ {
+		dst := g.lvl[j+1]
+		rg := g.levelRanges[j+1][tid]
+		s.PBarT[j].MatVecRange(dst, cur, rg.Lo, rg.Hi)
+		g.team.Wait()
+		cur = dst
+	}
+	e := g.smoothLevel(tid, k, cur)
+	// Prolongate back to the fine grid.
+	out := e
+	for j := k - 1; j >= 0; j-- {
+		dst := g.lvl2[j]
+		rg := g.levelRanges[j][tid]
+		s.PBar[j].MatVecRange(dst, out, rg.Lo, rg.Hi)
+		g.team.Wait()
+		out = dst
+	}
+	return out
+}
+
+// afacxCorrection computes grid k's AFACx V(1/1,0) contribution with the
+// modified right-hand side (plain interpolants).
+func (g *gridRun) afacxCorrection(tid int, rfine []float64) []float64 {
+	s := g.rt.s
+	k := g.k
+	l := s.NumLevels()
+	cur := rfine
+	for j := 0; j < k; j++ {
+		dst := g.lvl[j+1]
+		rg := g.levelRanges[j+1][tid]
+		s.PT[j].MatVecRange(dst, cur, rg.Lo, rg.Hi)
+		g.team.Wait()
+		cur = dst
+	}
+	var e []float64
+	if k == l-1 {
+		e = g.smoothLevel(tid, k, cur)
+	} else {
+		// One sweep on the next-coarser equations from a zero guess.
+		rkp1 := g.lvl[k+1]
+		rgN := g.levelRanges[k+1][tid]
+		s.PT[k].MatVecRange(rkp1, cur, rgN.Lo, rgN.Hi)
+		g.team.Wait()
+		ec := g.lvl2[k+1]
+		g.applySmoother(tid, g.smoNext, ec, rkp1, k+1)
+		// Modified RHS: cur − A_k·(P ec), reusing lvl2[k] for P·ec and the
+		// final smoothing output (they do not overlap in time).
+		rgK := g.levelRanges[k][tid]
+		pe := g.lvl2[k]
+		s.P[k].MatVecRange(pe, ec, rgK.Lo, rgK.Hi)
+		g.team.Wait()
+		mod := g.modBuf
+		ak := s.H.Levels[k].A
+		for i := rgK.Lo; i < rgK.Hi; i++ {
+			sum := cur[i]
+			for p := ak.RowPtr[i]; p < ak.RowPtr[i+1]; p++ {
+				sum -= ak.Vals[p] * pe[ak.ColIdx[p]]
+			}
+			mod[i] = sum
+		}
+		g.team.Wait()
+		e = g.smoothLevel(tid, k, mod)
+	}
+	out := e
+	for j := k - 1; j >= 0; j-- {
+		dst := g.lvl2[j]
+		rg := g.levelRanges[j][tid]
+		s.P[j].MatVecRange(dst, out, rg.Lo, rg.Hi)
+		g.team.Wait()
+		out = dst
+	}
+	return out
+}
+
+// smoothLevel computes the level-k correction e = Λ_k r (zero initial
+// guess), or the exact coarse solve on the coarsest level, into a
+// team-shared buffer it returns.
+func (g *gridRun) smoothLevel(tid, k int, r []float64) []float64 {
+	s := g.rt.s
+	e := g.eBuf
+	if k == s.NumLevels()-1 && s.H.Coarse != nil {
+		if tid == 0 {
+			s.CoarseSolve(e, r)
+		}
+		g.team.Wait()
+		return e
+	}
+	g.applySmoother(tid, g.smo, e, r, k)
+	return e
+}
+
+// applySmoother runs one team-parallel zero-guess sweep of sm on level
+// lvl: e = Λ r. For async GS the sweep runs over the grid-local atomic
+// buffer so teammates' writes are visible mid-sweep.
+func (g *gridRun) applySmoother(tid int, sm *smoother.S, e, r []float64, lvl int) {
+	rg := g.levelRanges[lvl][tid]
+	if g.rt.s.Cfg.Kind == smoother.AsyncGS && lvl == g.k {
+		for i := rg.Lo; i < rg.Hi; i++ {
+			g.eAtom.Store(i, 0)
+		}
+		g.team.Wait()
+		sm.ApplyBlockAtomic(g.eAtom, r, tid)
+		g.team.Wait()
+		g.eAtom.LoadRange(e, rg.Lo, rg.Hi)
+		g.team.Wait()
+		return
+	}
+	for i := rg.Lo; i < rg.Hi; i++ {
+		e[i] = 0
+	}
+	g.team.Wait()
+	sm.ApplyBlock(e, r, tid)
+	g.team.Wait()
+}
+
+// writeX adds the fine-level correction out into the global solution using
+// the configured write mode.
+func (g *gridRun) writeX(tid int, out []float64) {
+	rt := g.rt
+	fr := g.fineRanges[tid]
+	if rt.cfg.Write == LockWrite {
+		if tid == 0 {
+			rt.muX.Lock()
+		}
+		g.team.Wait()
+		for i := fr.Lo; i < fr.Hi; i++ {
+			if out[i] != 0 {
+				rt.x.Store(i, rt.x.Load(i)+out[i])
+			}
+		}
+		g.team.Wait()
+		if tid == 0 {
+			rt.muX.Unlock()
+		}
+		return
+	}
+	rt.x.AddRange(out, fr.Lo, fr.Hi)
+	g.team.Wait()
+}
+
+// readX stores the current global solution into the team-local x^k. Under
+// lock-write the read also takes the lock, so the copy is a consistent
+// snapshot (which is what makes local-res + lock-write match the semi-async
+// model, per Section IV).
+func (g *gridRun) readX(tid int) {
+	rt := g.rt
+	fr := g.fineRanges[tid]
+	if rt.cfg.Write == LockWrite {
+		if tid == 0 {
+			rt.muX.Lock()
+		}
+		g.team.Wait()
+		rt.x.LoadRange(g.xk, fr.Lo, fr.Hi)
+		g.team.Wait()
+		if tid == 0 {
+			rt.muX.Unlock()
+		}
+		return
+	}
+	rt.x.LoadRange(g.xk, fr.Lo, fr.Hi)
+	g.team.Wait()
+}
+
+// publishResidual propagates this grid's just-applied correction into the
+// shared residual state. out is the fine-level correction. Local-res
+// publishes nothing (each grid recomputes privately); global-res refreshes
+// the team's static slice of the global residual with a non-blocking loop
+// (Algorithm 5 lines 15-17); the residual-based mode subtracts A·e from the
+// global residual (Equations 9/10).
+func (g *gridRun) publishResidual(tid int, out []float64) {
+	rt := g.rt
+	a := rt.s.H.Levels[0].A
+	fr := g.fineRanges[tid]
+	switch rt.cfg.Res {
+	case LocalRes:
+		// Nothing shared to publish.
+	case GlobalRes:
+		// Each thread owns a static slice of ALL fine rows and refreshes
+		// it from the global x; other teams' slices may be arbitrarily
+		// stale — the defining weakness of global-res. "No Wait": no
+		// barrier with other teams.
+		gr := g.globalRanges[tid]
+		for i := gr.Lo; i < gr.Hi; i++ {
+			s := rt.b[i]
+			for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+				s -= a.Vals[p] * rt.x.Load(a.ColIdx[p])
+			}
+			rt.r.Store(i, s)
+		}
+	case ResidualRes:
+		// r ← r − A e with the configured write mode (the A·e support
+		// overlaps other grids' rows, so this is a racing update).
+		ae := g.lvl[0]
+		a.MatVecRange(ae, out, fr.Lo, fr.Hi)
+		g.team.Wait()
+		if rt.cfg.Write == LockWrite {
+			if tid == 0 {
+				rt.muR.Lock()
+			}
+			g.team.Wait()
+			for i := fr.Lo; i < fr.Hi; i++ {
+				if ae[i] != 0 {
+					rt.r.Store(i, rt.r.Load(i)-ae[i])
+				}
+			}
+			g.team.Wait()
+			if tid == 0 {
+				rt.muR.Unlock()
+			}
+		} else {
+			for i := fr.Lo; i < fr.Hi; i++ {
+				if ae[i] != 0 {
+					rt.r.Add(i, -ae[i])
+				}
+			}
+			g.team.Wait()
+		}
+	}
+}
+
+// acquireResidual refreshes the team-local fine residual r^k from the
+// shared state before the next correction: local-res recomputes it from the
+// team's snapshot of x, the global modes copy the global residual to local
+// memory (Algorithm 5 lines 13 / 18).
+func (g *gridRun) acquireResidual(tid int) {
+	rt := g.rt
+	a := rt.s.H.Levels[0].A
+	fr := g.fineRanges[tid]
+	switch rt.cfg.Res {
+	case LocalRes:
+		a.ResidualRange(g.rk, rt.b, g.xk, fr.Lo, fr.Hi)
+	case GlobalRes, ResidualRes:
+		rt.r.LoadRange(g.rk, fr.Lo, fr.Hi)
+	}
+	g.team.Wait()
+}

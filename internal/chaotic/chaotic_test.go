@@ -1,0 +1,248 @@
+package chaotic
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"asyncmg/internal/grid"
+	"asyncmg/internal/smoother"
+	"asyncmg/internal/sparse"
+	"asyncmg/internal/spectral"
+	"asyncmg/internal/vec"
+)
+
+func TestValidation(t *testing.T) {
+	a := grid.Laplacian7pt(4)
+	b := grid.RandomRHS(a.Rows, 1)
+	if _, err := Solve(a, b, Config{Processes: 0, Sweeps: 5}); err == nil {
+		t.Error("zero processes accepted")
+	}
+	if _, err := Solve(a, b, Config{Processes: 2, Sweeps: 0}); err == nil {
+		t.Error("zero sweeps accepted")
+	}
+	if _, err := Solve(a, b[:3], Config{Processes: 2, Sweeps: 5}); err == nil {
+		t.Error("short RHS accepted")
+	}
+	coo := sparse.NewCOO(2, 3, 1)
+	coo.Add(0, 0, 1)
+	if _, err := Solve(coo.ToCSR(), make([]float64, 2), Config{Processes: 1, Sweeps: 1}); err == nil {
+		t.Error("non-square accepted")
+	}
+	z := sparse.NewCOO(2, 2, 2)
+	z.Add(0, 1, 1)
+	z.Add(1, 0, 1)
+	if _, err := Solve(z.ToCSR(), make([]float64, 2), Config{Processes: 1, Sweeps: 1}); err == nil {
+		t.Error("zero diagonal accepted")
+	}
+}
+
+// serialJacobi runs the classical synchronous weighted Jacobi iteration.
+func serialJacobi(a *sparse.CSR, b []float64, omega float64, sweeps int) []float64 {
+	n := a.Rows
+	d := a.Diag()
+	x := make([]float64, n)
+	next := make([]float64, n)
+	for s := 0; s < sweeps; s++ {
+		for i := 0; i < n; i++ {
+			sum := b[i]
+			for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
+				j := a.ColIdx[q]
+				if j != i {
+					sum -= a.Vals[q] * x[j]
+				}
+			}
+			next[i] = (1-omega)*x[i] + omega*sum/d[i]
+		}
+		x, next = next, x
+	}
+	return x
+}
+
+func TestSynchronousJacobiMatchesSerial(t *testing.T) {
+	// The distributed synchronous mode must be bit-identical to the serial
+	// classical Jacobi iteration, for any process count.
+	a := grid.Laplacian7pt(5)
+	b := grid.RandomRHS(a.Rows, 2)
+	want := serialJacobi(a, b, 0.8, 12)
+	for _, procs := range []int{1, 2, 5, 8} {
+		res, err := Solve(a, b, Config{
+			Processes: procs, Sweeps: 12, Omega: 0.8, Synchronous: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(res.X[i]-want[i]) > 1e-14 {
+				t.Fatalf("procs=%d: x[%d] = %v, serial %v", procs, i, res.X[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAsynchronousConverges(t *testing.T) {
+	// ρ(|G|) < 1 for damped Jacobi on the Laplacian, so the asynchronous
+	// iteration must converge regardless of message timing (Eq. 5 / the
+	// Chazan-Miranker theorem).
+	a := grid.Laplacian7pt(6)
+	scale, err := smoother.InterpolantScaling(a, smoother.Config{Kind: smoother.WJacobi, Omega: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho, err := spectral.AsyncSmootherRadius(a, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho >= 1 {
+		t.Fatalf("test premise broken: rho = %v", rho)
+	}
+	b := grid.RandomRHS(a.Rows, 3)
+	res, err := Solve(a, b, Config{Processes: 6, Sweeps: 400, Omega: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Diverged {
+		t.Fatal("diverged with rho(|G|) < 1")
+	}
+	if res.RelRes > 1e-6 {
+		t.Errorf("async Jacobi relres %g after 400 sweeps", res.RelRes)
+	}
+	if res.HaloMessages == 0 {
+		t.Error("no halo messages counted")
+	}
+}
+
+func TestAsynchronousWithLatencyConverges(t *testing.T) {
+	a := grid.Laplacian7pt(5)
+	b := grid.RandomRHS(a.Rows, 4)
+	res, err := Solve(a, b, Config{
+		Processes: 4, Sweeps: 300, Omega: 0.9, HaloDelay: 100 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Diverged || res.RelRes > 1e-3 {
+		t.Errorf("latency run relres %g (diverged=%v)", res.RelRes, res.Diverged)
+	}
+}
+
+func TestGaussSeidelModeConverges(t *testing.T) {
+	a := grid.Laplacian7pt(5)
+	b := grid.RandomRHS(a.Rows, 5)
+	res, err := Solve(a, b, Config{Processes: 4, Sweeps: 200, Relax: GaussSeidel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RelRes > 1e-8 {
+		t.Errorf("GS mode relres %g", res.RelRes)
+	}
+	// GS should beat Jacobi at equal sweeps.
+	resJ, err := Solve(a, b, Config{Processes: 4, Sweeps: 200, Omega: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RelRes > resJ.RelRes {
+		t.Errorf("GS (%g) not better than Jacobi (%g)", res.RelRes, resJ.RelRes)
+	}
+}
+
+func TestOverRelaxedDiverges(t *testing.T) {
+	// ω = 2 violates ρ(|G|) < 1 on the Laplacian: the iteration must blow
+	// up and be flagged, not hang.
+	a := grid.Laplacian7pt(4)
+	b := grid.RandomRHS(a.Rows, 6)
+	res, err := Solve(a, b, Config{Processes: 4, Sweeps: 200, Omega: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Diverged && res.RelRes < 1e3 {
+		t.Errorf("omega=2 did not diverge: relres %g", res.RelRes)
+	}
+}
+
+func TestSingleProcessEqualsSerial(t *testing.T) {
+	// One process, asynchronous: no halos at all, plain local iteration.
+	a := grid.Laplacian7pt(4)
+	b := grid.RandomRHS(a.Rows, 7)
+	res, err := Solve(a, b, Config{Processes: 1, Sweeps: 30, Omega: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serialJacobi(a, b, 0.9, 30)
+	for i := range want {
+		if math.Abs(res.X[i]-want[i]) > 1e-14 {
+			t.Fatalf("x[%d] differs from serial", i)
+		}
+	}
+	if res.HaloMessages != 0 {
+		t.Errorf("single process sent %d halo messages", res.HaloMessages)
+	}
+}
+
+func TestProcessesClampedToRows(t *testing.T) {
+	a := grid.Laplacian7pt(2) // 8 rows
+	b := grid.RandomRHS(a.Rows, 8)
+	res, err := Solve(a, b, Config{Processes: 64, Sweeps: 150, Omega: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RelRes > 1e-6 {
+		t.Errorf("relres %g with per-row processes", res.RelRes)
+	}
+}
+
+func TestPlanHaloSetsAreMinimal(t *testing.T) {
+	// The communication plan must list exactly the external columns each
+	// block's rows reference.
+	a := grid.Laplacian7pt(3)
+	pl := buildPlan(a, 3)
+	for p, rg := range pl.ranges {
+		want := map[int]bool{}
+		for i := rg.Lo; i < rg.Hi; i++ {
+			for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
+				j := a.ColIdx[q]
+				if j < rg.Lo || j >= rg.Hi {
+					want[j] = true
+				}
+			}
+		}
+		got := 0
+		for q := range pl.needs[p] {
+			for _, j := range pl.needs[p][q] {
+				if !want[j] {
+					t.Fatalf("process %d lists unneeded halo index %d", p, j)
+				}
+				got++
+			}
+		}
+		if got != len(want) {
+			t.Fatalf("process %d plan has %d halo indices, want %d", p, got, len(want))
+		}
+	}
+}
+
+func TestAsyncVsSyncSameFixedPoint(t *testing.T) {
+	// Both modes must approach the same solution (the fixed point does not
+	// depend on the schedule).
+	a := grid.Laplacian7pt(4)
+	b := grid.RandomRHS(a.Rows, 9)
+	s, err := Solve(a, b, Config{Processes: 4, Sweeps: 400, Omega: 0.9, Synchronous: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := Solve(a, b, Config{Processes: 4, Sweeps: 400, Omega: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := vec.NormInf(diff(s.X, as.X)); d > 1e-6 {
+		t.Errorf("sync and async fixed points differ by %g", d)
+	}
+}
+
+func diff(a, b []float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}

@@ -1,0 +1,269 @@
+// Package distmem simulates the distributed-memory asynchronous multigrid
+// the paper's conclusion sketches: "the global-res approach is the most
+// natural way to implement a distributed asynchronous multigrid method
+// since we do not have to compute multiple fine grid residuals."
+//
+// Each grid is a separate worker process (goroutine) that owns no shared
+// memory; all interaction is message passing. A single owner process holds
+// the solution x and the global residual r. Workers receive residual
+// snapshots in a newest-wins mailbox (stale snapshots are overwritten, the
+// message-passing analogue of the bounded read delay δ of the full-async
+// model), compute their grid's correction, and send it back. The owner
+// applies corrections as they arrive using the residual-based update
+// r ← r − A·c (Equations 9/10 — this is what makes global-res natural in
+// distributed memory: the fine residual never has to be recomputed) and
+// rebroadcasts the residual. Message latency can be injected to study
+// convergence under slow interconnects.
+package distmem
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"asyncmg/internal/mg"
+	"asyncmg/internal/vec"
+)
+
+// Config parameterizes a distributed simulation.
+type Config struct {
+	// Method is mg.Multadd or mg.AFACx.
+	Method mg.Method
+	// MaxCorrections is the number of corrections each grid process
+	// performs.
+	MaxCorrections int
+	// Latency delays every message by this duration (0 = none), modelling
+	// interconnect latency.
+	Latency time.Duration
+	// BroadcastEvery makes the owner rebroadcast the residual after every
+	// this-many applied corrections (default 1: after each).
+	BroadcastEvery int
+	// MaxLead bounds how far ahead of the slowest other grid a worker may
+	// run, in corrections (0 means the default of 2). The paper's
+	// conclusion notes that grid-independent convergence is lost when the
+	// number of corrections is unbalanced — with one cheap coarse grid and
+	// one expensive fine grid, an unpaced run degenerates to "all coarse
+	// corrections, then all fine corrections", which can diverge. Set
+	// MaxLead to -1 for that unbounded behaviour (useful to reproduce the
+	// imbalance pathology).
+	MaxLead int
+}
+
+// Result reports a distributed solve.
+type Result struct {
+	// X is the final solution.
+	X []float64
+	// RelRes is ‖b − A X‖₂/‖b‖₂ computed from scratch at the end.
+	RelRes float64
+	// Corrections[k] counts grid k's corrections (== MaxCorrections).
+	Corrections []int
+	// ResidualBroadcasts counts how many residual snapshots the owner sent.
+	ResidualBroadcasts int
+	// StaleDrops counts residual snapshots that were overwritten in a
+	// worker's mailbox before being read — the message-passing measure of
+	// asynchrony.
+	StaleDrops int
+	// Elapsed is the wall-clock solve time.
+	Elapsed time.Duration
+	// Diverged is set when the final iterate is non-finite.
+	Diverged bool
+}
+
+// actionable reports whether worker k, about to compute its it-th
+// correction, may act on a snapshot with the given applied-correction
+// counts: its own previous correction must be reflected, and (for bounded
+// lead) no other unfinished grid may lag more than lead corrections behind.
+func actionable(counts []int, k, it, maxCorr, lead int) bool {
+	if counts[k] < it {
+		return false
+	}
+	if lead < 0 {
+		return true
+	}
+	for j, c := range counts {
+		if j == k || c >= maxCorr {
+			continue
+		}
+		if it > c+lead {
+			return false
+		}
+	}
+	return true
+}
+
+// debugTrace, when non-nil, receives (applied, grid, ‖r‖) after every
+// applied correction. Test-only hook.
+var debugTrace func(applied, grid int, rnorm float64)
+
+// correction is a worker→owner message.
+type correction struct {
+	grid int
+	c    []float64
+}
+
+// Solve runs the distributed asynchronous additive solve on A x = b, x0 = 0.
+func Solve(s *mg.Setup, b []float64, cfg Config) (*Result, error) {
+	if cfg.Method != mg.Multadd && cfg.Method != mg.AFACx {
+		return nil, fmt.Errorf("distmem: method %v not supported", cfg.Method)
+	}
+	if cfg.MaxCorrections <= 0 {
+		return nil, fmt.Errorf("distmem: MaxCorrections must be positive")
+	}
+	n := s.LevelSize(0)
+	if len(b) != n {
+		return nil, fmt.Errorf("distmem: len(b) = %d, want %d", len(b), n)
+	}
+	bcEvery := cfg.BroadcastEvery
+	if bcEvery <= 0 {
+		bcEvery = 1
+	}
+	l := s.NumLevels()
+	a := s.H.Levels[0].A
+	lead := cfg.MaxLead
+	if lead == 0 {
+		lead = 2
+	}
+
+	// Newest-wins residual mailboxes, one per worker. Snapshots carry a
+	// sequence number so that a snapshot delayed by the interconnect can
+	// never displace a newer one already in the mailbox.
+	type snapshot struct {
+		seq int64
+		// counts[j] is the number of grid j's corrections the owner had
+		// applied when this snapshot was taken. A worker only acts on
+		// snapshots whose own count equals its send count (otherwise it
+		// would re-correct an error its own in-flight correction already
+		// addressed), and — when MaxLead >= 0 — whose slowest other grid is
+		// within MaxLead corrections (the paper's balanced-corrections
+		// premise).
+		counts []int
+		r      []float64
+	}
+	mailboxes := make([]chan snapshot, l)
+	for k := range mailboxes {
+		mailboxes[k] = make(chan snapshot, 1)
+	}
+	corrCh := make(chan correction, 2*l)
+
+	var staleMu sync.Mutex
+	staleDrops := 0
+	var seqCounter int64
+	post := func(k int, seq int64, counts []int, r []float64) {
+		msg := snapshot{
+			seq:    seq,
+			counts: append([]int(nil), counts...),
+			r:      append([]float64(nil), r...),
+		}
+		deliver := func() {
+			for {
+				select {
+				case mailboxes[k] <- msg:
+					return
+				default:
+					// Mailbox full: keep whichever snapshot is newer.
+					select {
+					case cur := <-mailboxes[k]:
+						staleMu.Lock()
+						staleDrops++
+						staleMu.Unlock()
+						if cur.seq > msg.seq {
+							msg = cur
+						}
+					default:
+					}
+				}
+			}
+		}
+		if cfg.Latency > 0 {
+			go func() {
+				time.Sleep(cfg.Latency)
+				deliver()
+			}()
+			return
+		}
+		deliver()
+	}
+
+	start := time.Now()
+	// Workers: one process per grid.
+	for k := 0; k < l; k++ {
+		go func(k int) {
+			ws := s.NewCorrWorkspace()
+			out := make([]float64, n)
+			for it := 0; it < cfg.MaxCorrections; it++ {
+				snap := <-mailboxes[k]
+				for !actionable(snap.counts, k, it, cfg.MaxCorrections, lead) {
+					// Either the snapshot predates our own last correction,
+					// or we are too far ahead of a slower grid; wait for a
+					// fresher snapshot (the owner broadcasts after every
+					// applied correction, so one is guaranteed to come).
+					snap = <-mailboxes[k]
+				}
+				s.GridCorrection(cfg.Method, k, out, snap.r, ws)
+				msg := correction{grid: k, c: append([]float64(nil), out...)}
+				if cfg.Latency > 0 {
+					go func() {
+						time.Sleep(cfg.Latency)
+						corrCh <- msg
+					}()
+				} else {
+					corrCh <- msg
+				}
+			}
+		}(k)
+	}
+
+	// Owner process: applies corrections and rebroadcasts the residual.
+	x := make([]float64, n)
+	r := append([]float64(nil), b...)
+	ac := make([]float64, n)
+	res := &Result{Corrections: make([]int, l)}
+	seqCounter++
+	for k := 0; k < l; k++ {
+		post(k, seqCounter, res.Corrections, r)
+		res.ResidualBroadcasts++
+	}
+	// Every worker sends exactly MaxCorrections corrections, so the owner
+	// knows the total message count in advance (no termination protocol
+	// needed in the simulation).
+	total := l * cfg.MaxCorrections
+	applied := 0
+	for applied < total {
+		msg := <-corrCh
+		res.Corrections[msg.grid]++
+		vec.Axpy(1, x, msg.c)
+		// Residual-based update: r ← r − A c.
+		a.MatVec(ac, msg.c)
+		vec.Axpy(-1, r, ac)
+		applied++
+		if debugTrace != nil {
+			debugTrace(applied, msg.grid, vec.Norm2(r))
+		}
+		// Broadcast on the configured cadence, and also whenever the inbox
+		// runs dry: every worker may be blocked waiting for a fresh
+		// snapshot, so withholding one would deadlock the simulation.
+		if applied%bcEvery == 0 || len(corrCh) == 0 {
+			seqCounter++
+			for k := 0; k < l; k++ {
+				post(k, seqCounter, res.Corrections, r)
+				res.ResidualBroadcasts++
+			}
+		}
+	}
+	res.Elapsed = time.Since(start)
+	staleMu.Lock()
+	res.StaleDrops = staleDrops
+	staleMu.Unlock()
+
+	// True residual from scratch.
+	rr := make([]float64, n)
+	a.Residual(rr, b, x)
+	nb := vec.Norm2(b)
+	if nb == 0 {
+		nb = 1
+	}
+	res.X = x
+	res.RelRes = vec.Norm2(rr) / nb
+	res.Diverged = vec.HasNonFinite(x)
+	return res, nil
+}

@@ -1,0 +1,174 @@
+// Package fem is a self-contained P1 (linear) tetrahedral finite-element
+// assembler. It stands in for the MFEM package used in the paper: it builds
+// the "MFEM Laplace" substitute (Laplace on a ball, via a cube-to-ball mapped
+// structured tetrahedral mesh, replacing the paper's NURBS sphere mesh) and
+// the "MFEM Elasticity" substitute (3-D isotropic linear elasticity on a
+// multi-material cantilever beam with a clamped end).
+package fem
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec3 is a point in R³.
+type Vec3 struct{ X, Y, Z float64 }
+
+// Mesh is a conforming tetrahedral mesh. Tets index into Nodes; Boundary
+// marks nodes on the Dirichlet part of the boundary.
+type Mesh struct {
+	Nodes    []Vec3
+	Tets     [][4]int
+	Boundary []bool
+	// Material holds a material index per tetrahedron (used by the
+	// multi-material elasticity problem; all zeros for single-material).
+	Material []int
+}
+
+// kuhnTets lists the six tetrahedra of the Kuhn triangulation of the unit
+// cube. Corner codes are binary: bit 0 = +x, bit 1 = +y, bit 2 = +z. Each
+// tet walks a monotone lattice path from corner 000 to corner 111, so
+// adjacent cubes triangulate conformingly.
+var kuhnTets = [6][4]int{
+	{0, 1, 3, 7}, // x, then y, then z
+	{0, 1, 5, 7}, // x, z, y
+	{0, 2, 3, 7}, // y, x, z
+	{0, 2, 6, 7}, // y, z, x
+	{0, 4, 5, 7}, // z, x, y
+	{0, 4, 6, 7}, // z, y, x
+}
+
+// BoxMesh builds a structured tetrahedral mesh of the box
+// [0,lx]×[0,ly]×[0,lz] with nx×ny×nz cube cells, each split into six Kuhn
+// tetrahedra. No boundary nodes are marked; callers mark their own Dirichlet
+// sets.
+func BoxMesh(nx, ny, nz int, lx, ly, lz float64) *Mesh {
+	if nx < 1 || ny < 1 || nz < 1 {
+		panic(fmt.Sprintf("fem: BoxMesh needs at least one cell per direction, got %d×%d×%d", nx, ny, nz))
+	}
+	px, py, pz := nx+1, ny+1, nz+1
+	m := &Mesh{
+		Nodes:    make([]Vec3, px*py*pz),
+		Boundary: make([]bool, px*py*pz),
+	}
+	id := func(i, j, k int) int { return (i*py+j)*pz + k }
+	for i := 0; i < px; i++ {
+		for j := 0; j < py; j++ {
+			for k := 0; k < pz; k++ {
+				m.Nodes[id(i, j, k)] = Vec3{
+					X: lx * float64(i) / float64(nx),
+					Y: ly * float64(j) / float64(ny),
+					Z: lz * float64(k) / float64(nz),
+				}
+			}
+		}
+	}
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			for k := 0; k < nz; k++ {
+				var corner [8]int
+				for c := 0; c < 8; c++ {
+					corner[c] = id(i+c&1, j+(c>>1)&1, k+(c>>2)&1)
+				}
+				for _, t := range kuhnTets {
+					m.Tets = append(m.Tets, [4]int{
+						corner[t[0]], corner[t[1]], corner[t[2]], corner[t[3]],
+					})
+				}
+			}
+		}
+	}
+	m.Material = make([]int, len(m.Tets))
+	return m
+}
+
+// BallMesh builds a tetrahedral mesh of the unit ball by mapping a
+// structured mesh of the cube [-1,1]³ radially onto the ball: each point p
+// is moved to p·(‖p‖∞/‖p‖₂), which carries the cube surface onto the unit
+// sphere while grading interior elements. This is the substitute for the
+// paper's NURBS sphere mesh: it produces a curved domain with distorted,
+// variable-quality elements, which is what makes the "MFEM Laplace" test set
+// harder than the stencil Laplacians. Nodes on the sphere surface are marked
+// as Dirichlet boundary.
+func BallMesh(n int) *Mesh {
+	m := BoxMesh(n, n, n, 2, 2, 2)
+	px := n + 1
+	id := func(i, j, k int) int { return (i*px+j)*px + k }
+	for i := 0; i <= n; i++ {
+		for j := 0; j <= n; j++ {
+			for k := 0; k <= n; k++ {
+				nd := id(i, j, k)
+				p := m.Nodes[nd]
+				// Recenter the box to [-1,1]³.
+				p.X -= 1
+				p.Y -= 1
+				p.Z -= 1
+				linf := maxAbs3(p.X, p.Y, p.Z)
+				l2 := math.Sqrt(p.X*p.X + p.Y*p.Y + p.Z*p.Z)
+				if l2 > 0 {
+					s := linf / l2
+					p.X *= s
+					p.Y *= s
+					p.Z *= s
+				}
+				m.Nodes[nd] = p
+				if i == 0 || i == n || j == 0 || j == n || k == 0 || k == n {
+					m.Boundary[nd] = true
+				}
+			}
+		}
+	}
+	return m
+}
+
+// BeamMesh builds the multi-material cantilever beam: the box
+// [0,4]×[0,1]×[0,1] with 4n×n×n cells, clamped (Dirichlet) on the x=0 face,
+// and three material segments along the beam axis (x < 4/3, 4/3 ≤ x < 8/3,
+// x ≥ 8/3) with material indices 0, 1, 2.
+func BeamMesh(n int) *Mesh {
+	m := BoxMesh(4*n, n, n, 4, 1, 1)
+	py, pz := n+1, n+1
+	id := func(i, j, k int) int { return (i*py+j)*pz + k }
+	for j := 0; j < py; j++ {
+		for k := 0; k < pz; k++ {
+			m.Boundary[id(0, j, k)] = true
+		}
+	}
+	for t, tet := range m.Tets {
+		// Material by tet centroid x-coordinate.
+		cx := 0.0
+		for _, nd := range tet {
+			cx += m.Nodes[nd].X
+		}
+		cx /= 4
+		switch {
+		case cx < 4.0/3.0:
+			m.Material[t] = 0
+		case cx < 8.0/3.0:
+			m.Material[t] = 1
+		default:
+			m.Material[t] = 2
+		}
+	}
+	return m
+}
+
+func maxAbs3(a, b, c float64) float64 {
+	m := a
+	if m < 0 {
+		m = -m
+	}
+	if b < 0 {
+		b = -b
+	}
+	if b > m {
+		m = b
+	}
+	if c < 0 {
+		c = -c
+	}
+	if c > m {
+		m = c
+	}
+	return m
+}

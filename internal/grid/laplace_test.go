@@ -1,0 +1,188 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLaplacian7ptPaperCounts(t *testing.T) {
+	// The paper's 7pt matrix: 27,000 rows and 183,600 nonzeros (n=30).
+	a := Laplacian7pt(30)
+	if a.Rows != 27000 {
+		t.Errorf("rows = %d, want 27000", a.Rows)
+	}
+	if a.NNZ() != 183600 {
+		t.Errorf("nnz = %d, want 183600", a.NNZ())
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLaplacian27ptPaperCounts(t *testing.T) {
+	// The paper's 27pt matrix: 27,000 rows and 681,472 nonzeros (n=30).
+	a := Laplacian27pt(30)
+	if a.Rows != 27000 {
+		t.Errorf("rows = %d, want 27000", a.Rows)
+	}
+	if a.NNZ() != 681472 {
+		t.Errorf("nnz = %d, want 681472", a.NNZ())
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLaplacian7ptStructure(t *testing.T) {
+	n := 4
+	a := Laplacian7pt(n)
+	idx := func(i, j, k int) int { return (i*n+j)*n + k }
+	// Interior point has 7 entries; corner has 4.
+	interior := idx(1, 1, 1)
+	if got := a.RowPtr[interior+1] - a.RowPtr[interior]; got != 7 {
+		t.Errorf("interior row has %d entries, want 7", got)
+	}
+	corner := idx(0, 0, 0)
+	if got := a.RowPtr[corner+1] - a.RowPtr[corner]; got != 4 {
+		t.Errorf("corner row has %d entries, want 4", got)
+	}
+	if a.At(interior, interior) != 6 {
+		t.Errorf("diagonal = %v, want 6", a.At(interior, interior))
+	}
+	if a.At(interior, idx(1, 1, 2)) != -1 {
+		t.Errorf("neighbour coupling = %v, want -1", a.At(interior, idx(1, 1, 2)))
+	}
+	if a.At(interior, idx(0, 0, 0)) != 0 {
+		t.Errorf("non-neighbour coupling should be 0")
+	}
+}
+
+func TestLaplacian27ptStructure(t *testing.T) {
+	n := 4
+	a := Laplacian27pt(n)
+	idx := func(i, j, k int) int { return (i*n+j)*n + k }
+	interior := idx(1, 1, 1)
+	if got := a.RowPtr[interior+1] - a.RowPtr[interior]; got != 27 {
+		t.Errorf("interior row has %d entries, want 27", got)
+	}
+	corner := idx(0, 0, 0)
+	if got := a.RowPtr[corner+1] - a.RowPtr[corner]; got != 8 {
+		t.Errorf("corner row has %d entries, want 8", got)
+	}
+	if a.At(interior, interior) != 26 {
+		t.Errorf("diagonal = %v, want 26", a.At(interior, interior))
+	}
+	// Diagonal neighbour coupling present.
+	if a.At(interior, idx(2, 2, 2)) != -1 {
+		t.Errorf("corner-of-stencil coupling = %v, want -1", a.At(interior, idx(2, 2, 2)))
+	}
+}
+
+func TestLaplaciansSymmetric(t *testing.T) {
+	for _, n := range []int{2, 3, 5} {
+		if !Laplacian7pt(n).IsSymmetric(0) {
+			t.Errorf("7pt n=%d not symmetric", n)
+		}
+		if !Laplacian27pt(n).IsSymmetric(0) {
+			t.Errorf("27pt n=%d not symmetric", n)
+		}
+	}
+}
+
+func TestLaplacianPositiveDefiniteViaGershgorin(t *testing.T) {
+	// Weak diagonal dominance with strict dominance at the boundary rows:
+	// every Gershgorin disc lies in [0, 2*diag], and boundary rows give
+	// strict positivity. Check dominance row by row.
+	for _, a := range []interface {
+		NNZ() int
+	}{} {
+		_ = a
+	}
+	a := Laplacian7pt(3)
+	strict := false
+	for i := 0; i < a.Rows; i++ {
+		off := 0.0
+		diag := 0.0
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if a.ColIdx[p] == i {
+				diag = a.Vals[p]
+			} else {
+				off += math.Abs(a.Vals[p])
+			}
+		}
+		if diag < off {
+			t.Fatalf("row %d not diagonally dominant: %v < %v", i, diag, off)
+		}
+		if diag > off {
+			strict = true
+		}
+	}
+	if !strict {
+		t.Error("no strictly dominant row found — matrix could be singular")
+	}
+}
+
+func TestLaplacianConstantVectorAction(t *testing.T) {
+	// For the Dirichlet Laplacian, A·1 is zero at interior points and
+	// positive at boundary-adjacent points.
+	n := 5
+	a := Laplacian7pt(n)
+	ones := make([]float64, a.Rows)
+	for i := range ones {
+		ones[i] = 1
+	}
+	y := make([]float64, a.Rows)
+	a.MatVec(y, ones)
+	idx := func(i, j, k int) int { return (i*n+j)*n + k }
+	if y[idx(2, 2, 2)] != 0 {
+		t.Errorf("A·1 at interior = %v, want 0", y[idx(2, 2, 2)])
+	}
+	if y[idx(0, 2, 2)] != 1 {
+		t.Errorf("A·1 at face point = %v, want 1", y[idx(0, 2, 2)])
+	}
+	if y[idx(0, 0, 0)] != 3 {
+		t.Errorf("A·1 at corner = %v, want 3", y[idx(0, 0, 0)])
+	}
+}
+
+func TestRandomRHSRangeAndDeterminism(t *testing.T) {
+	f := func(seed int64) bool {
+		b1 := RandomRHS(50, seed)
+		b2 := RandomRHS(50, seed)
+		for i := range b1 {
+			if b1[i] != b2[i] {
+				return false
+			}
+			if b1[i] < -1 || b1[i] > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+	// Different seeds give different vectors (overwhelmingly likely).
+	b1 := RandomRHS(50, 1)
+	b2 := RandomRHS(50, 2)
+	same := true
+	for i := range b1 {
+		if b1[i] != b2[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical RHS")
+	}
+}
+
+func TestLaplacianPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Laplacian7pt(0)
+}

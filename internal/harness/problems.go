@@ -1,0 +1,72 @@
+// Package harness reproduces the paper's evaluation: it generates the four
+// test-matrix families, runs the measurement protocol of Section V (mean of
+// R runs, cycle sweeps, first-crossing time-to-tolerance), and prints the
+// rows and series of Table I and Figures 1, 2, 4, 5 and 6.
+package harness
+
+import (
+	"fmt"
+
+	"asyncmg/internal/fem"
+	"asyncmg/internal/grid"
+	"asyncmg/internal/sparse"
+)
+
+// Problem names accepted by BuildProblem.
+const (
+	Problem7pt        = "7pt"
+	Problem27pt       = "27pt"
+	ProblemLaplaceFEM = "mfem-laplace"
+	ProblemElasticity = "mfem-elasticity"
+)
+
+// AllProblems lists the four test sets of the paper in its order.
+func AllProblems() []string {
+	return []string{Problem7pt, Problem27pt, ProblemLaplaceFEM, ProblemElasticity}
+}
+
+// BuildProblem generates a test matrix by family name and mesh parameter.
+//
+//   - 7pt, 27pt: size is the grid length (paper: 30 → 27,000 rows).
+//   - mfem-laplace: size is the ball-mesh resolution (32 ≈ the paper's
+//     29,521 rows).
+//   - mfem-elasticity: size is the beam cross-section resolution (the beam
+//     is 4·size × size × size cells; 10 ≈ the paper's 37,281 rows).
+func BuildProblem(name string, size int) (*sparse.CSR, error) {
+	if size < 2 {
+		return nil, fmt.Errorf("harness: size %d too small", size)
+	}
+	switch name {
+	case Problem7pt:
+		return grid.Laplacian7pt(size), nil
+	case Problem27pt:
+		return grid.Laplacian27pt(size), nil
+	case ProblemLaplaceFEM:
+		m := fem.BallMesh(size)
+		prob, err := fem.AssembleLaplace(m)
+		if err != nil {
+			return nil, err
+		}
+		return prob.A, nil
+	case ProblemElasticity:
+		m := fem.BeamMesh(size)
+		prob, err := fem.AssembleElasticity(m, fem.DefaultBeamMaterials())
+		if err != nil {
+			return nil, err
+		}
+		return prob.A, nil
+	default:
+		return nil, fmt.Errorf("harness: unknown problem %q (want %v)", name, AllProblems())
+	}
+}
+
+// DefaultOmega returns the ω-Jacobi weight the paper uses for each family:
+// 0.9 for the stencil Laplacians, 0.5 for the FEM problems.
+func DefaultOmega(problem string) float64 {
+	switch problem {
+	case ProblemLaplaceFEM, ProblemElasticity:
+		return 0.5
+	default:
+		return 0.9
+	}
+}

@@ -1,0 +1,27 @@
+package mtx
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead exercises the Matrix Market parser with arbitrary inputs: it
+// must never panic, and anything it accepts must be a structurally valid
+// matrix.
+func FuzzRead(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 3.5\n")
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n2 1 -1\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern general\n1 1 1\n1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate integer general\n% c\n3 3 0\n")
+	f.Add("")
+	f.Add("%%MatrixMarket matrix coordinate real general\n1 1 2\n1 1 1\n1 1 1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		a, err := Read(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("accepted invalid matrix: %v\ninput: %q", err, in)
+		}
+	})
+}

@@ -1,0 +1,156 @@
+// Package mtx reads and writes sparse matrices in the Matrix Market
+// exchange format (coordinate, real/integer/pattern, general/symmetric),
+// the de-facto interchange format for sparse solver test problems. It lets
+// users run the solvers on their own matrices instead of the built-in
+// generators.
+package mtx
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"asyncmg/internal/sparse"
+)
+
+// Read parses a Matrix Market stream into a CSR matrix. Supported headers:
+// "%%MatrixMarket matrix coordinate {real|integer|pattern}
+// {general|symmetric}". Symmetric inputs are expanded to full storage;
+// pattern entries get value 1.
+func Read(r io.Reader) (*sparse.CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("mtx: empty input")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
+		return nil, fmt.Errorf("mtx: bad header %q", sc.Text())
+	}
+	if header[2] != "coordinate" {
+		return nil, fmt.Errorf("mtx: only coordinate format supported, got %q", header[2])
+	}
+	field := header[3]
+	switch field {
+	case "real", "integer", "pattern":
+	default:
+		return nil, fmt.Errorf("mtx: unsupported field type %q", field)
+	}
+	sym := header[4]
+	switch sym {
+	case "general", "symmetric":
+	default:
+		return nil, fmt.Errorf("mtx: unsupported symmetry %q (want general or symmetric)", sym)
+	}
+
+	// Skip comments, read the size line.
+	var rows, cols, nnz int
+	for {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("mtx: missing size line")
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
+			return nil, fmt.Errorf("mtx: bad size line %q: %v", line, err)
+		}
+		break
+	}
+	if rows < 0 || cols < 0 || nnz < 0 {
+		return nil, fmt.Errorf("mtx: negative dimensions %d %d %d", rows, cols, nnz)
+	}
+	coo := sparse.NewCOO(rows, cols, nnz*2)
+	read := 0
+	for read < nnz {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("mtx: expected %d entries, got %d", nnz, read)
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		want := 3
+		if field == "pattern" {
+			want = 2
+		}
+		if len(f) < want {
+			return nil, fmt.Errorf("mtx: bad entry line %q", line)
+		}
+		i, err := strconv.Atoi(f[0])
+		if err != nil {
+			return nil, fmt.Errorf("mtx: bad row index %q", f[0])
+		}
+		j, err := strconv.Atoi(f[1])
+		if err != nil {
+			return nil, fmt.Errorf("mtx: bad column index %q", f[1])
+		}
+		v := 1.0
+		if field != "pattern" {
+			v, err = strconv.ParseFloat(f[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("mtx: bad value %q", f[2])
+			}
+		}
+		if i < 1 || i > rows || j < 1 || j > cols {
+			return nil, fmt.Errorf("mtx: entry (%d,%d) out of range %dx%d", i, j, rows, cols)
+		}
+		coo.Add(i-1, j-1, v)
+		if sym == "symmetric" && i != j {
+			coo.Add(j-1, i-1, v)
+		}
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("mtx: %v", err)
+	}
+	return coo.ToCSR(), nil
+}
+
+// ReadFile reads a Matrix Market file from disk.
+func ReadFile(path string) (*sparse.CSR, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Write emits a in Matrix Market coordinate/real/general format.
+func Write(w io.Writer, a *sparse.CSR) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", a.Rows, a.Cols, a.NNZ()); err != nil {
+		return err
+	}
+	for i := 0; i < a.Rows; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i+1, a.ColIdx[p]+1, a.Vals[p]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes a to a Matrix Market file.
+func WriteFile(path string, a *sparse.CSR) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, a); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,186 @@
+package mtx
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"asyncmg/internal/grid"
+	"asyncmg/internal/sparse"
+)
+
+func TestRoundTrip(t *testing.T) {
+	a := grid.Laplacian7pt(4)
+	var buf bytes.Buffer
+	if err := Write(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows != a.Rows || back.Cols != a.Cols || back.NNZ() != a.NNZ() {
+		t.Fatalf("shape changed: %dx%d nnz %d", back.Rows, back.Cols, back.NNZ())
+	}
+	for i := 0; i < a.Rows; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if got := back.At(i, a.ColIdx[p]); got != a.Vals[p] {
+				t.Fatalf("(%d,%d): %v != %v", i, a.ColIdx[p], got, a.Vals[p])
+			}
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		if seed < 0 {
+			seed = -seed
+		}
+		n := int(seed%8) + 2
+		coo := sparse.NewCOO(n, n, 3*n)
+		for i := 0; i < n; i++ {
+			coo.Add(i, i, float64(i)+1.5)
+			coo.Add(i, (i+1)%n, -0.25*float64(seed%7+1))
+		}
+		a := coo.ToCSR()
+		var buf bytes.Buffer
+		if err := Write(&buf, a); err != nil {
+			return false
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if back.NNZ() != a.NNZ() {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if math.Abs(back.At(i, j)-a.At(i, j)) > 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+% a comment
+3 3 4
+1 1 2.0
+2 1 -1.0
+2 2 2.0
+3 2 -1.0
+`
+	a, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Entries (1,1),(2,1),(2,2),(3,2); the two off-diagonals expand to
+	// their transposes: 4 + 2 = 6 stored values.
+	if a.NNZ() != 6 {
+		t.Fatalf("nnz = %d, want 6", a.NNZ())
+	}
+	if a.At(1, 0) != -1 || a.At(0, 1) != -1 {
+		t.Error("symmetric expansion missing")
+	}
+	if !a.IsSymmetric(0) {
+		t.Error("expanded matrix not symmetric")
+	}
+}
+
+func TestReadPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern general
+2 2 3
+1 1
+1 2
+2 2
+`
+	a, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 0) != 1 || a.At(0, 1) != 1 || a.At(1, 1) != 1 || a.At(1, 0) != 0 {
+		t.Errorf("pattern read wrong: %v", a.Vals)
+	}
+}
+
+func TestReadIntegerField(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate integer general
+2 2 2
+1 1 3
+2 2 -4
+`
+	a, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 0) != 3 || a.At(1, 1) != -4 {
+		t.Error("integer values wrong")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
+		"%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+		"%%MatrixMarket matrix coordinate real skew-symmetric\n1 1 1\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 x 1.0\n",
+		"not a header\n",
+	}
+	for i, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted invalid input", i)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "test.mtx")
+	a := grid.Laplacian27pt(3)
+	if err := WriteFile(path, a); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != a.NNZ() {
+		t.Errorf("nnz %d != %d", back.NNZ(), a.NNZ())
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.mtx")); !os.IsNotExist(err) {
+		t.Errorf("missing file error = %v", err)
+	}
+}
+
+func TestValuesPreservedExactly(t *testing.T) {
+	// %.17g must round-trip float64 exactly.
+	coo := sparse.NewCOO(1, 1, 1)
+	coo.Add(0, 0, 0.1+0.2) // 0.30000000000000004
+	a := coo.ToCSR()
+	var buf bytes.Buffer
+	if err := Write(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.At(0, 0) != 0.1+0.2 {
+		t.Errorf("value not bit-exact: %v", back.At(0, 0))
+	}
+}

@@ -1,0 +1,77 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// COO is a coordinate-format assembly buffer. FEM assembly and stencil
+// generators append (possibly duplicate) triplets and then convert to CSR,
+// at which point duplicates are summed — the standard finite-element
+// assembly contract.
+type COO struct {
+	Rows, Cols int
+	I, J       []int
+	V          []float64
+}
+
+// NewCOO returns an empty COO buffer for an rows-by-cols matrix with
+// capacity hint nnz.
+func NewCOO(rows, cols, nnz int) *COO {
+	return &COO{
+		Rows: rows, Cols: cols,
+		I: make([]int, 0, nnz),
+		J: make([]int, 0, nnz),
+		V: make([]float64, 0, nnz),
+	}
+}
+
+// Add appends the triplet (i, j, v). Zero values are kept so that assembled
+// structural zeros remain part of the sparsity pattern (this matters for
+// symmetric elimination of boundary conditions).
+func (c *COO) Add(i, j int, v float64) {
+	if i < 0 || i >= c.Rows || j < 0 || j >= c.Cols {
+		panic(fmt.Sprintf("sparse: COO.Add index (%d,%d) out of range %dx%d", i, j, c.Rows, c.Cols))
+	}
+	c.I = append(c.I, i)
+	c.J = append(c.J, j)
+	c.V = append(c.V, v)
+}
+
+// ToCSR converts the buffer to CSR, summing duplicate entries and sorting
+// columns within each row.
+func (c *COO) ToCSR() *CSR {
+	n := len(c.V)
+	// Sort triplets by (i, j) using an index permutation to keep the three
+	// parallel slices in sync.
+	perm := make([]int, n)
+	for k := range perm {
+		perm[k] = k
+	}
+	sort.Slice(perm, func(a, b int) bool {
+		ka, kb := perm[a], perm[b]
+		if c.I[ka] != c.I[kb] {
+			return c.I[ka] < c.I[kb]
+		}
+		return c.J[ka] < c.J[kb]
+	})
+	a := &CSR{Rows: c.Rows, Cols: c.Cols, RowPtr: make([]int, c.Rows+1)}
+	a.ColIdx = make([]int, 0, n)
+	a.Vals = make([]float64, 0, n)
+	prevI, prevJ := -1, -1
+	for _, k := range perm {
+		i, j, v := c.I[k], c.J[k], c.V[k]
+		if i == prevI && j == prevJ {
+			a.Vals[len(a.Vals)-1] += v
+			continue
+		}
+		a.ColIdx = append(a.ColIdx, j)
+		a.Vals = append(a.Vals, v)
+		a.RowPtr[i+1]++
+		prevI, prevJ = i, j
+	}
+	for i := 0; i < c.Rows; i++ {
+		a.RowPtr[i+1] += a.RowPtr[i]
+	}
+	return a
+}

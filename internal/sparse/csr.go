@@ -1,0 +1,444 @@
+// Package sparse implements the compressed sparse row (CSR) matrix kernels
+// that every other subsystem in this repository is built on: sparse
+// matrix-vector products, transposes, sparse general matrix-matrix products,
+// the Galerkin triple product used by the AMG setup, triangular solves for
+// Gauss-Seidel-type smoothers, and a COO assembly builder for the FEM and
+// stencil problem generators.
+//
+// All matrices use 0-based indices, float64 values, and row-major CSR
+// storage. Within each row, column indices are kept sorted ascending; every
+// constructor and transformation in this package preserves that invariant,
+// and Validate checks it.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CSR is a sparse matrix in compressed sparse row format.
+//
+// Row i occupies the half-open range RowPtr[i]:RowPtr[i+1] of ColIdx and
+// Vals. ColIdx is sorted ascending within each row and contains no
+// duplicates.
+type CSR struct {
+	// Rows and Cols are the matrix dimensions.
+	Rows, Cols int
+	// RowPtr has length Rows+1; RowPtr[0] == 0 and RowPtr[Rows] == len(Vals).
+	RowPtr []int
+	// ColIdx holds the column index of each stored entry.
+	ColIdx []int
+	// Vals holds the value of each stored entry.
+	Vals []float64
+}
+
+// NNZ returns the number of stored entries.
+func (a *CSR) NNZ() int { return len(a.Vals) }
+
+// Validate checks the structural invariants of the CSR storage: monotone row
+// pointers, in-range sorted column indices with no duplicates, and finite
+// values. It returns a descriptive error for the first violation found.
+func (a *CSR) Validate() error {
+	if a.Rows < 0 || a.Cols < 0 {
+		return fmt.Errorf("sparse: negative dimensions %dx%d", a.Rows, a.Cols)
+	}
+	if len(a.RowPtr) != a.Rows+1 {
+		return fmt.Errorf("sparse: RowPtr length %d, want %d", len(a.RowPtr), a.Rows+1)
+	}
+	if a.RowPtr[0] != 0 {
+		return fmt.Errorf("sparse: RowPtr[0] = %d, want 0", a.RowPtr[0])
+	}
+	if a.RowPtr[a.Rows] != len(a.Vals) || len(a.ColIdx) != len(a.Vals) {
+		return fmt.Errorf("sparse: RowPtr[last]=%d, len(ColIdx)=%d, len(Vals)=%d disagree",
+			a.RowPtr[a.Rows], len(a.ColIdx), len(a.Vals))
+	}
+	for i := 0; i < a.Rows; i++ {
+		if a.RowPtr[i] > a.RowPtr[i+1] {
+			return fmt.Errorf("sparse: RowPtr not monotone at row %d", i)
+		}
+		prev := -1
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			j := a.ColIdx[p]
+			if j < 0 || j >= a.Cols {
+				return fmt.Errorf("sparse: row %d has column %d out of range [0,%d)", i, j, a.Cols)
+			}
+			if j <= prev {
+				return fmt.Errorf("sparse: row %d columns not strictly ascending at %d", i, j)
+			}
+			if math.IsNaN(a.Vals[p]) || math.IsInf(a.Vals[p], 0) {
+				return fmt.Errorf("sparse: row %d col %d has non-finite value %v", i, j, a.Vals[p])
+			}
+			prev = j
+		}
+	}
+	return nil
+}
+
+// At returns the value stored at (i, j), or 0 if no entry exists. It is
+// O(log nnz(row i)) and intended for tests and small problems, not kernels.
+func (a *CSR) At(i, j int) float64 {
+	lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+	k := sort.SearchInts(a.ColIdx[lo:hi], j) + lo
+	if k < hi && a.ColIdx[k] == j {
+		return a.Vals[k]
+	}
+	return 0
+}
+
+// Clone returns a deep copy of the matrix.
+func (a *CSR) Clone() *CSR {
+	b := &CSR{
+		Rows:   a.Rows,
+		Cols:   a.Cols,
+		RowPtr: append([]int(nil), a.RowPtr...),
+		ColIdx: append([]int(nil), a.ColIdx...),
+		Vals:   append([]float64(nil), a.Vals...),
+	}
+	return b
+}
+
+// Identity returns the n-by-n identity matrix.
+func Identity(n int) *CSR {
+	a := &CSR{Rows: n, Cols: n,
+		RowPtr: make([]int, n+1),
+		ColIdx: make([]int, n),
+		Vals:   make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		a.RowPtr[i+1] = i + 1
+		a.ColIdx[i] = i
+		a.Vals[i] = 1
+	}
+	return a
+}
+
+// Diag extracts the main diagonal into a new slice. Missing diagonal entries
+// are reported as 0.
+func (a *CSR) Diag() []float64 {
+	d := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if a.ColIdx[p] == i {
+				d[i] = a.Vals[p]
+				break
+			}
+		}
+	}
+	return d
+}
+
+// RowL1Norms returns the l1 norm of each row, sum_j |a_ij|. This is the
+// diagonal of the l1-Jacobi smoothing matrix described in the paper
+// (Baker, Falgout, Kolev & Yang, "Multigrid smoothers for ultraparallel
+// computing").
+func (a *CSR) RowL1Norms() []float64 {
+	d := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		s := 0.0
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			s += math.Abs(a.Vals[p])
+		}
+		d[i] = s
+	}
+	return d
+}
+
+// MatVec computes y = A x. len(x) must be a.Cols and len(y) must be a.Rows;
+// x and y must not alias.
+func (a *CSR) MatVec(y, x []float64) {
+	if len(x) != a.Cols || len(y) != a.Rows {
+		panic(fmt.Sprintf("sparse: MatVec dimension mismatch: A is %dx%d, len(x)=%d, len(y)=%d",
+			a.Rows, a.Cols, len(x), len(y)))
+	}
+	for i := 0; i < a.Rows; i++ {
+		s := 0.0
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			s += a.Vals[p] * x[a.ColIdx[p]]
+		}
+		y[i] = s
+	}
+}
+
+// MatVecRange computes y[lo:hi] = (A x)[lo:hi] for the row range [lo, hi).
+// It is the building block used by goroutine teams, which split the row
+// space of a shared SpMV among themselves.
+func (a *CSR) MatVecRange(y, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s := 0.0
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			s += a.Vals[p] * x[a.ColIdx[p]]
+		}
+		y[i] = s
+	}
+}
+
+// MatVecAdd computes y += A x.
+func (a *CSR) MatVecAdd(y, x []float64) {
+	for i := 0; i < a.Rows; i++ {
+		s := 0.0
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			s += a.Vals[p] * x[a.ColIdx[p]]
+		}
+		y[i] += s
+	}
+}
+
+// Residual computes r = b - A x.
+func (a *CSR) Residual(r, b, x []float64) {
+	if len(r) != a.Rows || len(b) != a.Rows || len(x) != a.Cols {
+		panic("sparse: Residual dimension mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		s := b[i]
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			s -= a.Vals[p] * x[a.ColIdx[p]]
+		}
+		r[i] = s
+	}
+}
+
+// ResidualRange computes r[lo:hi] = (b - A x)[lo:hi].
+func (a *CSR) ResidualRange(r, b, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s := b[i]
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			s -= a.Vals[p] * x[a.ColIdx[p]]
+		}
+		r[i] = s
+	}
+}
+
+// Transpose returns Aᵀ as a new CSR matrix. The result has sorted rows by
+// construction (counting sort over rows of A).
+func (a *CSR) Transpose() *CSR {
+	t := &CSR{Rows: a.Cols, Cols: a.Rows,
+		RowPtr: make([]int, a.Cols+1),
+		ColIdx: make([]int, a.NNZ()),
+		Vals:   make([]float64, a.NNZ()),
+	}
+	// Count entries per column of A.
+	for _, j := range a.ColIdx {
+		t.RowPtr[j+1]++
+	}
+	for i := 0; i < a.Cols; i++ {
+		t.RowPtr[i+1] += t.RowPtr[i]
+	}
+	next := append([]int(nil), t.RowPtr[:a.Cols]...)
+	for i := 0; i < a.Rows; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			j := a.ColIdx[p]
+			q := next[j]
+			next[j]++
+			t.ColIdx[q] = i
+			t.Vals[q] = a.Vals[p]
+		}
+	}
+	return t
+}
+
+// MatMul computes the sparse product C = A B using a Gustavson row-merge
+// with a dense scatter workspace. Rows of C come out sorted.
+func MatMul(a, b *CSR) *CSR {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("sparse: MatMul dimension mismatch: %dx%d times %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := &CSR{Rows: a.Rows, Cols: b.Cols, RowPtr: make([]int, a.Rows+1)}
+	// Symbolic + numeric fused, one row at a time.
+	marker := make([]int, b.Cols)
+	for i := range marker {
+		marker[i] = -1
+	}
+	acc := make([]float64, b.Cols)
+	cols := make([]int, 0, 64)
+	for i := 0; i < a.Rows; i++ {
+		cols = cols[:0]
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			k := a.ColIdx[p]
+			av := a.Vals[p]
+			for q := b.RowPtr[k]; q < b.RowPtr[k+1]; q++ {
+				j := b.ColIdx[q]
+				if marker[j] != i {
+					marker[j] = i
+					acc[j] = 0
+					cols = append(cols, j)
+				}
+				acc[j] += av * b.Vals[q]
+			}
+		}
+		sort.Ints(cols)
+		for _, j := range cols {
+			c.ColIdx = append(c.ColIdx, j)
+			c.Vals = append(c.Vals, acc[j])
+		}
+		c.RowPtr[i+1] = len(c.Vals)
+	}
+	return c
+}
+
+// RAP computes the Galerkin coarse-grid operator A_c = Rᵀ·A·P with R = P,
+// i.e. A_c = Pᵀ A P, the triple product used at every AMG level.
+func RAP(a, p *CSR) *CSR {
+	ap := MatMul(a, p)
+	pt := p.Transpose()
+	return MatMul(pt, ap)
+}
+
+// DropSmall returns a copy of a with entries |v| <= tol removed (diagonal
+// entries are always kept). Used to post-filter near-zero fill-in from
+// sparse products such as the smoothed interpolants.
+func (a *CSR) DropSmall(tol float64) *CSR {
+	c := &CSR{Rows: a.Rows, Cols: a.Cols, RowPtr: make([]int, a.Rows+1)}
+	for i := 0; i < a.Rows; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if math.Abs(a.Vals[p]) > tol || a.ColIdx[p] == i {
+				c.ColIdx = append(c.ColIdx, a.ColIdx[p])
+				c.Vals = append(c.Vals, a.Vals[p])
+			}
+		}
+		c.RowPtr[i+1] = len(c.Vals)
+	}
+	return c
+}
+
+// ScaleRows multiplies row i of a by s[i] in place.
+func (a *CSR) ScaleRows(s []float64) {
+	if len(s) != a.Rows {
+		panic("sparse: ScaleRows length mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			a.Vals[p] *= s[i]
+		}
+	}
+}
+
+// Add returns A + B for matrices of identical shape.
+func Add(a, b *CSR) *CSR {
+	return addScaled(a, b, 1)
+}
+
+// Sub returns A - B for matrices of identical shape.
+func Sub(a, b *CSR) *CSR {
+	return addScaled(a, b, -1)
+}
+
+func addScaled(a, b *CSR, beta float64) *CSR {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("sparse: Add/Sub shape mismatch")
+	}
+	c := &CSR{Rows: a.Rows, Cols: a.Cols, RowPtr: make([]int, a.Rows+1)}
+	for i := 0; i < a.Rows; i++ {
+		pa, pb := a.RowPtr[i], b.RowPtr[i]
+		ea, eb := a.RowPtr[i+1], b.RowPtr[i+1]
+		for pa < ea || pb < eb {
+			switch {
+			case pb >= eb || (pa < ea && a.ColIdx[pa] < b.ColIdx[pb]):
+				c.ColIdx = append(c.ColIdx, a.ColIdx[pa])
+				c.Vals = append(c.Vals, a.Vals[pa])
+				pa++
+			case pa >= ea || b.ColIdx[pb] < a.ColIdx[pa]:
+				c.ColIdx = append(c.ColIdx, b.ColIdx[pb])
+				c.Vals = append(c.Vals, beta*b.Vals[pb])
+				pb++
+			default: // equal columns
+				c.ColIdx = append(c.ColIdx, a.ColIdx[pa])
+				c.Vals = append(c.Vals, a.Vals[pa]+beta*b.Vals[pb])
+				pa++
+				pb++
+			}
+		}
+		c.RowPtr[i+1] = len(c.Vals)
+	}
+	return c
+}
+
+// LowerTriSolveRange performs a forward substitution with the lower
+// triangular part (including diagonal) of A restricted to the index block
+// [lo, hi): it solves L x = b treating only columns within [lo, hi) and on
+// or below the diagonal, which is exactly one block of the hybrid
+// Jacobi-Gauss-Seidel smoother. Entries of x outside [lo, hi) are not
+// touched. Rows with a zero diagonal leave x unchanged for that row.
+func (a *CSR) LowerTriSolveRange(x, b []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s := b[i]
+		diag := 0.0
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			j := a.ColIdx[p]
+			if j < lo {
+				continue
+			}
+			if j > i {
+				break // sorted columns: nothing at or below the diagonal remains
+			}
+			if j == i {
+				diag = a.Vals[p]
+			} else {
+				s -= a.Vals[p] * x[j]
+			}
+		}
+		if diag != 0 {
+			x[i] = s / diag
+		}
+	}
+}
+
+// GaussSeidelSweepRange performs one forward Gauss-Seidel sweep on the row
+// block [lo, hi) of A x = b, reading the most recent values of x everywhere
+// (including outside the block). It is the serial kernel underneath both
+// hybrid JGS (with block-local reads) and async GS (with shared reads).
+func (a *CSR) GaussSeidelSweepRange(x, b []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s := b[i]
+		diag := 0.0
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			j := a.ColIdx[p]
+			if j == i {
+				diag = a.Vals[p]
+			} else {
+				s -= a.Vals[p] * x[j]
+			}
+		}
+		if diag != 0 {
+			x[i] = s / diag
+		}
+	}
+}
+
+// IsSymmetric reports whether A equals its transpose up to tol, comparing
+// entry by entry. Intended for tests and setup-time validation.
+func (a *CSR) IsSymmetric(tol float64) bool {
+	if a.Rows != a.Cols {
+		return false
+	}
+	t := a.Transpose()
+	if t.NNZ() != a.NNZ() {
+		return false
+	}
+	for i := 0; i < a.Rows; i++ {
+		if a.RowPtr[i] != t.RowPtr[i] {
+			return false
+		}
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if a.ColIdx[p] != t.ColIdx[p] || math.Abs(a.Vals[p]-t.Vals[p]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ToDense expands the matrix into a dense row-major slice of slices.
+// Intended for tests and the coarse-grid direct solver.
+func (a *CSR) ToDense() [][]float64 {
+	d := make([][]float64, a.Rows)
+	flat := make([]float64, a.Rows*a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		d[i] = flat[i*a.Cols : (i+1)*a.Cols]
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			d[i][a.ColIdx[p]] = a.Vals[p]
+		}
+	}
+	return d
+}

@@ -1,0 +1,123 @@
+// Package vec provides the vector kernels used throughout the solvers:
+// basic BLAS-1 style operations (with range variants that goroutine teams
+// use to split work) and an atomically accessible float64 vector used as
+// the shared global state (x and r) of the asynchronous multigrid
+// algorithms.
+package vec
+
+import "math"
+
+// Zero sets every element of v to 0.
+func Zero(v []float64) {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Copy copies src into dst (lengths must match).
+func Copy(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("vec: Copy length mismatch")
+	}
+	copy(dst, src)
+}
+
+// Axpy computes y += alpha*x.
+func Axpy(alpha float64, y, x []float64) {
+	for i := range y {
+		y[i] += alpha * x[i]
+	}
+}
+
+// AxpyRange computes y[lo:hi] += alpha*x[lo:hi].
+func AxpyRange(alpha float64, y, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Add computes z = x + y elementwise.
+func Add(z, x, y []float64) {
+	for i := range z {
+		z[i] = x[i] + y[i]
+	}
+}
+
+// Sub computes z = x - y elementwise.
+func Sub(z, x, y []float64) {
+	for i := range z {
+		z[i] = x[i] - y[i]
+	}
+}
+
+// Scale multiplies v by alpha in place.
+func Scale(alpha float64, v []float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// Dot returns the inner product of x and y.
+func Dot(x, y []float64) float64 {
+	s := 0.0
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v, guarding against overflow for the
+// magnitudes that arise when a divergent solver is detected.
+func Norm2(v []float64) float64 {
+	// Two-pass scaled norm: cheap and robust.
+	maxAbs := 0.0
+	for _, x := range v {
+		if math.IsNaN(x) {
+			return math.Inf(1)
+		}
+		if a := math.Abs(x); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		return 0
+	}
+	if math.IsInf(maxAbs, 0) || math.IsNaN(maxAbs) {
+		return math.Inf(1)
+	}
+	s := 0.0
+	for _, x := range v {
+		t := x / maxAbs
+		s += t * t
+	}
+	return maxAbs * math.Sqrt(s)
+}
+
+// NormInf returns the maximum absolute value of v.
+func NormInf(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Fill sets every element of v to alpha.
+func Fill(v []float64, alpha float64) {
+	for i := range v {
+		v[i] = alpha
+	}
+}
+
+// HasNonFinite reports whether v contains a NaN or infinity. The solvers use
+// this to flag divergence (the † entries in the paper's Table I).
+func HasNonFinite(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+	}
+	return false
+}

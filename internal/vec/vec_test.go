@@ -1,0 +1,208 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAxpyAndRange(t *testing.T) {
+	y := []float64{1, 2, 3, 4}
+	x := []float64{10, 20, 30, 40}
+	Axpy(0.5, y, x)
+	want := []float64{6, 12, 18, 24}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("Axpy[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+	AxpyRange(-1, y, x, 1, 3)
+	if y[0] != 6 || y[1] != -8 || y[2] != -12 || y[3] != 24 {
+		t.Fatalf("AxpyRange gave %v", y)
+	}
+}
+
+func TestAddSubScaleFill(t *testing.T) {
+	x := []float64{1, 2}
+	y := []float64{3, 5}
+	z := make([]float64, 2)
+	Add(z, x, y)
+	if z[0] != 4 || z[1] != 7 {
+		t.Fatalf("Add gave %v", z)
+	}
+	Sub(z, x, y)
+	if z[0] != -2 || z[1] != -3 {
+		t.Fatalf("Sub gave %v", z)
+	}
+	Scale(2, z)
+	if z[0] != -4 || z[1] != -6 {
+		t.Fatalf("Scale gave %v", z)
+	}
+	Fill(z, 9)
+	if z[0] != 9 || z[1] != 9 {
+		t.Fatalf("Fill gave %v", z)
+	}
+	Zero(z)
+	if z[0] != 0 || z[1] != 0 {
+		t.Fatalf("Zero gave %v", z)
+	}
+}
+
+func TestDotNorm(t *testing.T) {
+	x := []float64{3, 4}
+	if Dot(x, x) != 25 {
+		t.Errorf("Dot = %v", Dot(x, x))
+	}
+	if Norm2(x) != 5 {
+		t.Errorf("Norm2 = %v", Norm2(x))
+	}
+	if NormInf([]float64{-7, 3}) != 7 {
+		t.Errorf("NormInf wrong")
+	}
+	if Norm2(nil) != 0 {
+		t.Errorf("Norm2(nil) = %v, want 0", Norm2(nil))
+	}
+}
+
+func TestNorm2OverflowSafe(t *testing.T) {
+	big := []float64{1e300, 1e300}
+	got := Norm2(big)
+	want := 1e300 * math.Sqrt2
+	if math.IsInf(got, 0) || math.Abs(got-want)/want > 1e-14 {
+		t.Errorf("Norm2 overflowed: %v, want %v", got, want)
+	}
+	if !math.IsInf(Norm2([]float64{math.Inf(1)}), 1) {
+		t.Errorf("Norm2 of Inf should be Inf")
+	}
+	if !math.IsInf(Norm2([]float64{math.NaN()}), 1) {
+		t.Errorf("Norm2 of NaN vector should report Inf (divergence sentinel)")
+	}
+}
+
+func TestNorm2MatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		v := make([]float64, n)
+		s := 0.0
+		for i := range v {
+			v[i] = rng.NormFloat64()
+			s += v[i] * v[i]
+		}
+		naive := math.Sqrt(s)
+		return math.Abs(Norm2(v)-naive) <= 1e-12*(1+naive)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHasNonFinite(t *testing.T) {
+	if HasNonFinite([]float64{1, 2, 3}) {
+		t.Error("finite vector flagged")
+	}
+	if !HasNonFinite([]float64{1, math.NaN()}) {
+		t.Error("NaN missed")
+	}
+	if !HasNonFinite([]float64{math.Inf(-1)}) {
+		t.Error("-Inf missed")
+	}
+}
+
+func TestCopyMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Copy(make([]float64, 2), make([]float64, 3))
+}
+
+func TestAtomicLoadStore(t *testing.T) {
+	a := NewAtomic(4)
+	if a.Len() != 4 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	a.Store(2, 3.25)
+	if a.Load(2) != 3.25 {
+		t.Errorf("Load(2) = %v", a.Load(2))
+	}
+	if a.Load(0) != 0 {
+		t.Errorf("fresh element not zero")
+	}
+	a.Add(2, -1.25)
+	if a.Load(2) != 2.0 {
+		t.Errorf("Add gave %v", a.Load(2))
+	}
+}
+
+func TestAtomicRanges(t *testing.T) {
+	a := NewAtomic(6)
+	src := []float64{1, 2, 3, 4, 5, 6}
+	a.SetAll(src)
+	dst := make([]float64, 6)
+	a.Snapshot(dst)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("Snapshot[%d] = %v", i, dst[i])
+		}
+	}
+	delta := []float64{0, 10, 0, 10, 0, 10}
+	a.AddRange(delta, 1, 5)
+	want := []float64{1, 12, 3, 14, 5, 6}
+	a.Snapshot(dst)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("after AddRange, [%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+	a.ZeroAll()
+	a.Snapshot(dst)
+	for i := range dst {
+		if dst[i] != 0 {
+			t.Fatalf("ZeroAll left %v at %d", dst[i], i)
+		}
+	}
+	a.StoreRange(src, 2, 4)
+	a.LoadRange(dst, 2, 4)
+	if dst[2] != 3 || dst[3] != 4 {
+		t.Fatalf("Store/LoadRange gave %v", dst[2:4])
+	}
+}
+
+func TestAtomicConcurrentAdds(t *testing.T) {
+	// G goroutines each add 1 to every element K times; the total must be
+	// exactly G*K — this is the atomic-write correctness property.
+	const n, goroutines, k = 32, 8, 200
+	a := NewAtomic(n)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < k; it++ {
+				for i := 0; i < n; i++ {
+					a.Add(i, 1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if got := a.Load(i); got != goroutines*k {
+			t.Fatalf("element %d = %v, want %v (lost update)", i, got, goroutines*k)
+		}
+	}
+}
+
+func TestAtomicAddRangeSkipsZeros(t *testing.T) {
+	// Behavioural: zero deltas must not perturb bit patterns such as -0.
+	a := NewAtomic(1)
+	a.Store(0, math.Copysign(0, -1))
+	a.AddRange([]float64{0}, 0, 1)
+	if math.Signbit(a.Load(0)) != true {
+		t.Error("zero delta rewrote the stored -0")
+	}
+}
