@@ -43,12 +43,14 @@
 package asyncmg
 
 import (
+	"context"
 	"io"
 
 	"asyncmg/internal/amg"
 	"asyncmg/internal/async"
 	"asyncmg/internal/chaotic"
 	"asyncmg/internal/distmem"
+	"asyncmg/internal/fault"
 	"asyncmg/internal/fem"
 	"asyncmg/internal/grid"
 	"asyncmg/internal/harness"
@@ -261,7 +263,14 @@ const (
 
 // SolveAsync runs the configured parallel multigrid solver on A x = b.
 func SolveAsync(s *Setup, b []float64, cfg AsyncConfig) (*AsyncResult, error) {
-	return async.Solve(s, b, cfg)
+	return async.Solve(context.Background(), s, b, cfg)
+}
+
+// SolveAsyncCtx is SolveAsync with cancellation: the solve stops at the
+// next cycle boundary and returns ctx's error when ctx is cancelled or its
+// deadline passes.
+func SolveAsyncCtx(ctx context.Context, s *Setup, b []float64, cfg AsyncConfig) (*AsyncResult, error) {
+	return async.Solve(ctx, s, b, cfg)
 }
 
 // ---- Experiment harness ----
@@ -308,14 +317,30 @@ func NewMGPreconditioner(s *Setup, m Method) *MGPreconditioner {
 
 // DistConfig parameterizes a distributed-memory asynchronous solve (message
 // passing between grid processes; the paper's distributed-memory outlook).
+// Its Fault field injects message loss, duplication, reordering, worker
+// crashes and dead grids; the solver's watchdog/respawn/retirement
+// machinery recovers from them (see DistResult's fault counters).
 type DistConfig = distmem.Config
 
-// DistResult reports a distributed solve.
+// DistResult reports a distributed solve, including fault-injection and
+// recovery counters (drops, crashes, respawns, retired grids, ...).
 type DistResult = distmem.Result
+
+// FaultConfig parameterizes the deterministic fault-injection transport of
+// the distributed simulation (DistConfig.Fault).
+type FaultConfig = fault.Config
 
 // SolveDistributed runs the message-passing asynchronous additive solve.
 func SolveDistributed(s *Setup, b []float64, cfg DistConfig) (*DistResult, error) {
-	return distmem.Solve(s, b, cfg)
+	return distmem.Solve(context.Background(), s, b, cfg)
+}
+
+// SolveDistributedCtx is SolveDistributed with cancellation: the solve
+// returns ctx's error when ctx fires before completion — the safety net
+// for fault schedules the recovery machinery cannot outrun (e.g. a network
+// that drops everything with the watchdog disabled).
+func SolveDistributedCtx(ctx context.Context, s *Setup, b []float64, cfg DistConfig) (*DistResult, error) {
+	return distmem.Solve(ctx, s, b, cfg)
 }
 
 // ---- Matrix Market I/O ----

@@ -3,11 +3,18 @@
 // fixed number of corrections versus grid length, sweeping the minimum
 // update probability α (Figure 1) or the maximum read delay δ (Figure 2).
 //
+// It also runs the fault-injection sweep over the distributed solver:
+// `-fault` prints the converged residual plus fault/recovery counters for a
+// set of degraded-transport scenarios (drops, duplicates, reordering, a
+// worker crash, a permanently dead coarse grid).
+//
 // Examples:
 //
 //	mgsim -fig 1                                # both methods, paper defaults (scaled)
 //	mgsim -fig 2 -sizes 10,14,18 -runs 10
 //	mgsim -fig 1 -method afacx -full            # paper-scale sizes 40..80 (slow)
+//	mgsim -fault                                # fault sweep, default scenarios
+//	mgsim -fault -drop 0.1,0.3 -seed 7 -updates 60
 package main
 
 import (
@@ -33,7 +40,32 @@ func main() {
 	runs := flag.Int("runs", 5, "runs per data point (paper: 20)")
 	updates := flag.Int("updates", 20, "corrections per grid (paper: 20)")
 	full := flag.Bool("full", false, "use the paper's sizes 40,50,...,80 (slow: hours)")
+	faultSweep := flag.Bool("fault", false, "run the distributed fault-injection sweep instead of a figure")
+	drop := flag.String("drop", "", "comma-separated drop rates for the -fault sweep (default 0.05,0.10,0.20)")
+	seed := flag.Int64("seed", 1, "fault-schedule seed for the -fault sweep")
 	flag.Parse()
+
+	if *faultSweep {
+		cfg := harness.DefaultFault()
+		cfg.Seed = *seed
+		// -updates overrides the sweep's own default only when set explicitly.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "updates" {
+				cfg.Updates = *updates
+			}
+		})
+		if *drop != "" {
+			rates, err := parseRates(*drop)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg.DropRates = rates
+		}
+		if err := harness.FaultSweep(os.Stdout, cfg); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	sz, err := parseSizes(*sizes, *full)
 	if err != nil {
@@ -88,6 +120,21 @@ func parseSizes(s string, full bool) ([]int, error) {
 			return nil, fmt.Errorf("bad size %q: %v", f, err)
 		}
 		out = append(out, n)
+	}
+	return out, nil
+}
+
+func parseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad drop rate %q: %v", f, err)
+		}
+		if r < 0 || r > 1 {
+			return nil, fmt.Errorf("drop rate %g outside [0, 1]", r)
+		}
+		out = append(out, r)
 	}
 	return out, nil
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -105,7 +106,7 @@ func main() {
 		default:
 			log.Fatalf("unknown residual mode %q", *resMode)
 		}
-		res, err := async.Solve(setup, b, async.Config{
+		res, err := async.Solve(context.Background(), setup, b, async.Config{
 			Method: m, Write: wm, Res: rm,
 			Criterion: async.Criterion1, Threads: *threads, MaxCycles: *cycles,
 		})

@@ -14,6 +14,7 @@
 package async
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -139,8 +140,10 @@ type Result struct {
 	AvgCorrects float64
 	// Elapsed is the wall-clock solve time (setup excluded).
 	Elapsed time.Duration
-	// Diverged is set when the iterate contains non-finite values (the
-	// paper's † marker).
+	// Diverged is set when the iterate contains non-finite values or the
+	// final relative residual exceeds vec.DivergedRelRes — a residual
+	// that blew up by ten orders of magnitude but has not overflowed yet
+	// is still divergence (the paper's † marker covers both).
 	Diverged bool
 	// History holds ‖r‖₂/‖b‖₂ after each cycle when RecordHistory was set
 	// on a synchronous run (History[0] == 1); nil otherwise.
@@ -148,7 +151,9 @@ type Result struct {
 }
 
 // Solve runs the configured parallel multigrid solver on A x = b, x0 = 0.
-func Solve(s *mg.Setup, b []float64, cfg Config) (*Result, error) {
+// Cancelling ctx (or passing a deadline) stops the teams at the next cycle
+// boundary and returns ctx's error.
+func Solve(ctx context.Context, s *mg.Setup, b []float64, cfg Config) (*Result, error) {
 	if cfg.MaxCycles <= 0 {
 		return nil, fmt.Errorf("async: MaxCycles must be positive, got %d", cfg.MaxCycles)
 	}
@@ -161,7 +166,7 @@ func Solve(s *mg.Setup, b []float64, cfg Config) (*Result, error) {
 	}
 	switch cfg.Method {
 	case mg.Mult:
-		return solveMult(s, b, cfg)
+		return solveMult(ctx, s, b, cfg)
 	case mg.Multadd, mg.AFACx:
 		l := s.NumLevels()
 		if cfg.Threads < l {
@@ -170,7 +175,7 @@ func Solve(s *mg.Setup, b []float64, cfg Config) (*Result, error) {
 		if cfg.Res == ResidualRes && cfg.Method != mg.Multadd {
 			return nil, fmt.Errorf("async: residual-based update (r-Multadd) requires Multadd")
 		}
-		return solveAdditive(s, b, cfg)
+		return solveAdditive(ctx, s, b, cfg)
 	default:
 		return nil, fmt.Errorf("async: method %v not supported", cfg.Method)
 	}
@@ -178,6 +183,7 @@ func Solve(s *mg.Setup, b []float64, cfg Config) (*Result, error) {
 
 // solverState is the shared state of one additive parallel solve.
 type solverState struct {
+	ctx context.Context
 	s   *mg.Setup
 	cfg Config
 	n   int
@@ -232,10 +238,10 @@ type gridRun struct {
 }
 
 // solveAdditive runs Multadd/AFACx, synchronous or asynchronous.
-func solveAdditive(s *mg.Setup, b []float64, cfg Config) (*Result, error) {
+func solveAdditive(ctx context.Context, s *mg.Setup, b []float64, cfg Config) (*Result, error) {
 	l := s.NumLevels()
 	rt := &solverState{
-		s: s, cfg: cfg, n: s.LevelSize(0), b: b,
+		ctx: ctx, s: s, cfg: cfg, n: s.LevelSize(0), b: b,
 		x:         vec.NewAtomic(s.LevelSize(0)),
 		corrCount: make([]atomic.Int64, l),
 	}
@@ -289,6 +295,9 @@ func solveAdditive(s *mg.Setup, b []float64, cfg Config) (*Result, error) {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("async: solve aborted: %w", err)
+	}
 
 	x := make([]float64, rt.n)
 	rt.x.Snapshot(x)
@@ -303,8 +312,8 @@ func solveAdditive(s *mg.Setup, b []float64, cfg Config) (*Result, error) {
 		RelRes:      vec.Norm2(res) / nb,
 		Corrections: make([]int, l),
 		Elapsed:     elapsed,
-		Diverged:    vec.HasNonFinite(x),
 	}
+	out.Diverged = vec.Diverged(x, out.RelRes)
 	total := 0
 	for k := 0; k < l; k++ {
 		c := int(rt.corrCount[k].Load())

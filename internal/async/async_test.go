@@ -1,6 +1,7 @@
 package async
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -74,22 +75,22 @@ func TestBarrierPanicsOnZero(t *testing.T) {
 func TestSolveValidation(t *testing.T) {
 	s := buildSetup(t, 6, smoother.WJacobi)
 	b := grid.RandomRHS(s.LevelSize(0), 1)
-	if _, err := Solve(s, b, Config{Method: mg.Multadd, Threads: 4, MaxCycles: 0}); err == nil {
+	if _, err := Solve(context.Background(), s, b, Config{Method: mg.Multadd, Threads: 4, MaxCycles: 0}); err == nil {
 		t.Error("accepted MaxCycles=0")
 	}
-	if _, err := Solve(s, b, Config{Method: mg.Multadd, Threads: 0, MaxCycles: 5}); err == nil {
+	if _, err := Solve(context.Background(), s, b, Config{Method: mg.Multadd, Threads: 0, MaxCycles: 5}); err == nil {
 		t.Error("accepted Threads=0")
 	}
-	if _, err := Solve(s, b, Config{Method: mg.Multadd, Threads: 1, MaxCycles: 5}); err == nil {
+	if _, err := Solve(context.Background(), s, b, Config{Method: mg.Multadd, Threads: 1, MaxCycles: 5}); err == nil {
 		t.Error("accepted fewer threads than grids")
 	}
-	if _, err := Solve(s, b, Config{Method: mg.BPX, Threads: 8, MaxCycles: 5}); err == nil {
+	if _, err := Solve(context.Background(), s, b, Config{Method: mg.BPX, Threads: 8, MaxCycles: 5}); err == nil {
 		t.Error("accepted unsupported method")
 	}
-	if _, err := Solve(s, b, Config{Method: mg.AFACx, Res: ResidualRes, Threads: 8, MaxCycles: 5}); err == nil {
+	if _, err := Solve(context.Background(), s, b, Config{Method: mg.AFACx, Res: ResidualRes, Threads: 8, MaxCycles: 5}); err == nil {
 		t.Error("accepted residual-based AFACx")
 	}
-	if _, err := Solve(s, b[:3], Config{Method: mg.Multadd, Threads: 8, MaxCycles: 5}); err == nil {
+	if _, err := Solve(context.Background(), s, b[:3], Config{Method: mg.Multadd, Threads: 8, MaxCycles: 5}); err == nil {
 		t.Error("accepted short RHS")
 	}
 }
@@ -101,7 +102,7 @@ func TestParallelMultMatchesSequential(t *testing.T) {
 	s := buildSetup(t, 8, smoother.WJacobi)
 	n := s.LevelSize(0)
 	b := grid.RandomRHS(n, 2)
-	res, err := Solve(s, b, Config{Method: mg.Mult, Threads: 4, MaxCycles: 12})
+	res, err := Solve(context.Background(), s, b, Config{Method: mg.Mult, Threads: 4, MaxCycles: 12})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestSyncMultaddMatchesSequential(t *testing.T) {
 	s := buildSetup(t, 8, smoother.WJacobi)
 	n := s.LevelSize(0)
 	b := grid.RandomRHS(n, 3)
-	res, err := Solve(s, b, Config{
+	res, err := Solve(context.Background(), s, b, Config{
 		Method: mg.Multadd, Sync: true, Write: AtomicWrite,
 		Threads: 6, MaxCycles: 10,
 	})
@@ -139,7 +140,7 @@ func TestSyncMultaddMatchesSequential(t *testing.T) {
 func TestSyncAFACxMatchesSequential(t *testing.T) {
 	s := buildSetup(t, 8, smoother.WJacobi)
 	b := grid.RandomRHS(s.LevelSize(0), 4)
-	res, err := Solve(s, b, Config{
+	res, err := Solve(context.Background(), s, b, Config{
 		Method: mg.AFACx, Sync: true, Write: LockWrite,
 		Threads: 6, MaxCycles: 10,
 	})
@@ -158,7 +159,7 @@ func TestAsyncMultaddConvergesAllVariants(t *testing.T) {
 	b := grid.RandomRHS(s.LevelSize(0), 5)
 	for _, wm := range []WriteMode{LockWrite, AtomicWrite} {
 		for _, rm := range []ResMode{LocalRes, GlobalRes, ResidualRes} {
-			res, err := Solve(s, b, Config{
+			res, err := Solve(context.Background(), s, b, Config{
 				Method: mg.Multadd, Write: wm, Res: rm,
 				Criterion: Criterion1, Threads: 7, MaxCycles: 40,
 			})
@@ -190,7 +191,7 @@ func TestAsyncMultaddConvergesAllVariants(t *testing.T) {
 func TestAsyncAFACxConverges(t *testing.T) {
 	s := buildSetup(t, 8, smoother.WJacobi)
 	b := grid.RandomRHS(s.LevelSize(0), 6)
-	res, err := Solve(s, b, Config{
+	res, err := Solve(context.Background(), s, b, Config{
 		Method: mg.AFACx, Write: LockWrite, Res: LocalRes,
 		Criterion: Criterion1, Threads: 7, MaxCycles: 80,
 	})
@@ -205,7 +206,7 @@ func TestAsyncAFACxConverges(t *testing.T) {
 func TestAsyncGSSmootherConverges(t *testing.T) {
 	s := buildSetup(t, 8, smoother.AsyncGS)
 	b := grid.RandomRHS(s.LevelSize(0), 7)
-	res, err := Solve(s, b, Config{
+	res, err := Solve(context.Background(), s, b, Config{
 		Method: mg.Multadd, Write: AtomicWrite, Res: LocalRes,
 		Criterion: Criterion1, Threads: 7, MaxCycles: 40,
 	})
@@ -220,7 +221,7 @@ func TestAsyncGSSmootherConverges(t *testing.T) {
 func TestHybridJGSSmootherConverges(t *testing.T) {
 	s := buildSetup(t, 8, smoother.HybridJGS)
 	b := grid.RandomRHS(s.LevelSize(0), 8)
-	res, err := Solve(s, b, Config{
+	res, err := Solve(context.Background(), s, b, Config{
 		Method: mg.Multadd, Write: LockWrite, Res: LocalRes,
 		Criterion: Criterion1, Threads: 7, MaxCycles: 40,
 	})
@@ -235,7 +236,7 @@ func TestHybridJGSSmootherConverges(t *testing.T) {
 func TestCriterion2AllGridsReachTarget(t *testing.T) {
 	s := buildSetup(t, 8, smoother.WJacobi)
 	b := grid.RandomRHS(s.LevelSize(0), 9)
-	res, err := Solve(s, b, Config{
+	res, err := Solve(context.Background(), s, b, Config{
 		Method: mg.Multadd, Write: AtomicWrite, Res: LocalRes,
 		Criterion: Criterion2, Threads: 7, MaxCycles: 15,
 	})
@@ -256,7 +257,7 @@ func TestParallelMultAllSmoothers(t *testing.T) {
 	for _, kind := range []smoother.Kind{smoother.WJacobi, smoother.L1Jacobi, smoother.HybridJGS, smoother.AsyncGS} {
 		s := buildSetup(t, 6, kind)
 		b := grid.RandomRHS(s.LevelSize(0), 10)
-		res, err := Solve(s, b, Config{Method: mg.Mult, Threads: 4, MaxCycles: 40})
+		res, err := Solve(context.Background(), s, b, Config{Method: mg.Mult, Threads: 4, MaxCycles: 40})
 		if err != nil {
 			t.Fatalf("%v: %v", kind, err)
 		}
@@ -271,7 +272,7 @@ func TestSingleThreadPerGridStillWorks(t *testing.T) {
 	s := buildSetup(t, 8, smoother.WJacobi)
 	l := s.NumLevels()
 	b := grid.RandomRHS(s.LevelSize(0), 11)
-	res, err := Solve(s, b, Config{
+	res, err := Solve(context.Background(), s, b, Config{
 		Method: mg.Multadd, Write: AtomicWrite, Res: LocalRes,
 		Criterion: Criterion1, Threads: l, MaxCycles: 30,
 	})
@@ -286,7 +287,7 @@ func TestSingleThreadPerGridStillWorks(t *testing.T) {
 func TestManyThreads(t *testing.T) {
 	s := buildSetup(t, 8, smoother.WJacobi)
 	b := grid.RandomRHS(s.LevelSize(0), 12)
-	res, err := Solve(s, b, Config{
+	res, err := Solve(context.Background(), s, b, Config{
 		Method: mg.Multadd, Write: AtomicWrite, Res: LocalRes,
 		Criterion: Criterion1, Threads: 32, MaxCycles: 25,
 	})
@@ -301,7 +302,7 @@ func TestManyThreads(t *testing.T) {
 func TestResultElapsedPositive(t *testing.T) {
 	s := buildSetup(t, 6, smoother.WJacobi)
 	b := grid.RandomRHS(s.LevelSize(0), 13)
-	res, err := Solve(s, b, Config{
+	res, err := Solve(context.Background(), s, b, Config{
 		Method: mg.Multadd, Write: AtomicWrite, Res: LocalRes,
 		Criterion: Criterion1, Threads: 5, MaxCycles: 5,
 	})
@@ -347,7 +348,7 @@ func TestAsyncAFACxAllSmoothers(t *testing.T) {
 	} {
 		s := buildSetup(t, 8, kind)
 		b := grid.RandomRHS(s.LevelSize(0), 14)
-		res, err := Solve(s, b, Config{
+		res, err := Solve(context.Background(), s, b, Config{
 			Method: mg.AFACx, Write: AtomicWrite, Res: LocalRes,
 			Criterion: Criterion1, Threads: 7, MaxCycles: 60,
 		})
@@ -369,7 +370,7 @@ func TestCriterion1FinishedGridsLeaveOthersRunning(t *testing.T) {
 	// terminate (no deadlock) and the result must be finite.
 	s := buildSetup(t, 8, smoother.WJacobi)
 	b := grid.RandomRHS(s.LevelSize(0), 15)
-	res, err := Solve(s, b, Config{
+	res, err := Solve(context.Background(), s, b, Config{
 		Method: mg.Multadd, Write: AtomicWrite, Res: GlobalRes,
 		Criterion: Criterion1, Threads: 7, MaxCycles: 25,
 	})
@@ -405,7 +406,7 @@ func TestElasticityUnknownApproachAsyncPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	b := grid.RandomRHS(prob.A.Rows, 16)
-	res, err := Solve(setup, b, Config{
+	res, err := Solve(context.Background(), setup, b, Config{
 		Method: mg.Multadd, Write: LockWrite, Res: LocalRes,
 		Criterion: Criterion2, Threads: 8, MaxCycles: 60,
 	})
@@ -420,7 +421,7 @@ func TestElasticityUnknownApproachAsyncPipeline(t *testing.T) {
 func TestRecordHistorySyncRun(t *testing.T) {
 	s := buildSetup(t, 8, smoother.WJacobi)
 	b := grid.RandomRHS(s.LevelSize(0), 17)
-	res, err := Solve(s, b, Config{
+	res, err := Solve(context.Background(), s, b, Config{
 		Method: mg.Multadd, Sync: true, Write: AtomicWrite,
 		Threads: 6, MaxCycles: 10, RecordHistory: true,
 	})
@@ -452,7 +453,7 @@ func TestRecordHistorySyncRun(t *testing.T) {
 func TestRecordHistoryIgnoredForAsync(t *testing.T) {
 	s := buildSetup(t, 6, smoother.WJacobi)
 	b := grid.RandomRHS(s.LevelSize(0), 18)
-	res, err := Solve(s, b, Config{
+	res, err := Solve(context.Background(), s, b, Config{
 		Method: mg.Multadd, Write: AtomicWrite, Res: LocalRes,
 		Criterion: Criterion1, Threads: 5, MaxCycles: 5, RecordHistory: true,
 	})

@@ -27,6 +27,11 @@ func (g *gridRun) runAsync(tid int) {
 			default:
 				g.stopLocal = rt.stop.Load()
 			}
+			// Context cancellation stops every team at the next cycle
+			// boundary regardless of criterion.
+			if rt.ctx.Err() != nil {
+				g.stopLocal = true
+			}
 		}
 		g.team.Wait()
 		if g.stopLocal {
@@ -101,7 +106,17 @@ func (g *gridRun) runSync(tid int) {
 			}
 			rt.r.Store(i, s)
 		}
+		// One designated thread folds context cancellation into the stop
+		// flag; the store is sequenced before the barrier every thread
+		// passes below, so the post-barrier loads agree and all threads
+		// break on the same cycle.
+		if g.k == 0 && tid == 0 && rt.ctx.Err() != nil {
+			rt.stop.Store(true)
+		}
 		rt.globalBarrier.Wait()
+		if rt.stop.Load() {
+			return
+		}
 		if tid == 0 {
 			rt.corrCount[g.k].Store(int64(t + 1))
 		}

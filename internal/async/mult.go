@@ -1,7 +1,10 @@
 package async
 
 import (
+	"context"
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"asyncmg/internal/mg"
@@ -16,7 +19,7 @@ import (
 // points are exactly what asynchronous additive multigrid eliminates, so
 // the harness also counts them (see Result.Corrections, which for Mult
 // holds the cycle count on every level).
-func solveMult(s *mg.Setup, b []float64, cfg Config) (*Result, error) {
+func solveMult(ctx context.Context, s *mg.Setup, b []float64, cfg Config) (*Result, error) {
 	n := s.LevelSize(0)
 	l := s.NumLevels()
 	t := cfg.Threads
@@ -91,6 +94,7 @@ func solveMult(s *mg.Setup, b []float64, cfg Config) (*Result, error) {
 	}
 
 	start := time.Now()
+	var stop atomic.Bool
 	var wg sync.WaitGroup
 	for tid := 0; tid < t; tid++ {
 		wg.Add(1)
@@ -99,9 +103,18 @@ func solveMult(s *mg.Setup, b []float64, cfg Config) (*Result, error) {
 			a0 := s.H.Levels[0].A
 			fr := ranges[0][tid]
 			for cyc := 0; cyc < cfg.MaxCycles; cyc++ {
+				// Thread 0 folds context cancellation into a stop flag
+				// before the cycle's first barrier; every thread reads it
+				// after that barrier, so all break on the same cycle.
+				if tid == 0 && ctx.Err() != nil {
+					stop.Store(true)
+				}
 				// r0 = b − A x.
 				a0.ResidualRange(r[0], b, x, fr.Lo, fr.Hi)
 				bar.Wait()
+				if stop.Load() {
+					return
+				}
 				// Downward sweep.
 				for k := 0; k < l-1; k++ {
 					preSmooth(tid, k)
@@ -137,6 +150,9 @@ func solveMult(s *mg.Setup, b []float64, cfg Config) (*Result, error) {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("async: solve aborted: %w", err)
+	}
 
 	res := make([]float64, n)
 	s.H.Levels[0].A.Residual(res, b, x)
@@ -148,12 +164,13 @@ func solveMult(s *mg.Setup, b []float64, cfg Config) (*Result, error) {
 	for k := range corr {
 		corr[k] = cfg.MaxCycles
 	}
-	return &Result{
+	out := &Result{
 		X:           append([]float64(nil), x...),
 		RelRes:      vec.Norm2(res) / nb,
 		Corrections: corr,
 		AvgCorrects: float64(cfg.MaxCycles),
 		Elapsed:     elapsed,
-		Diverged:    vec.HasNonFinite(x),
-	}, nil
+	}
+	out.Diverged = vec.Diverged(out.X, out.RelRes)
+	return out, nil
 }

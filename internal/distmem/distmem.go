@@ -4,25 +4,49 @@
 // since we do not have to compute multiple fine grid residuals."
 //
 // Each grid is a separate worker process (goroutine) that owns no shared
-// memory; all interaction is message passing. A single owner process holds
-// the solution x and the global residual r. Workers receive residual
-// snapshots in a newest-wins mailbox (stale snapshots are overwritten, the
-// message-passing analogue of the bounded read delay δ of the full-async
-// model), compute their grid's correction, and send it back. The owner
-// applies corrections as they arrive using the residual-based update
-// r ← r − A·c (Equations 9/10 — this is what makes global-res natural in
-// distributed memory: the fine residual never has to be recomputed) and
-// rebroadcasts the residual. Message latency can be injected to study
-// convergence under slow interconnects.
+// memory; all interaction is message passing over a fault.Transport, which
+// can drop, duplicate, delay and reorder messages, crash workers, and sever
+// grids permanently. A single owner process holds the solution x and the
+// global residual r. Workers receive residual snapshots in a newest-wins
+// mailbox (stale snapshots are overwritten, the message-passing analogue of
+// the bounded read delay δ of the full-async model), compute their grid's
+// correction, and send it back. The owner applies corrections as they
+// arrive using the residual-based update r ← r − A·c (Equations 9/10 —
+// this is what makes global-res natural in distributed memory: the fine
+// residual never has to be recomputed) and rebroadcasts the residual.
+//
+// The protocol is crash-tolerant by construction: workers are stateless
+// responders (a worker's next correction index is whatever the freshest
+// snapshot says was last applied for its grid), and the owner deduplicates
+// by (grid, index), so messages may be lost, duplicated or replayed freely.
+// An owner-side watchdog detects a stalled solve, rebroadcasts with
+// exponential backoff, respawns silent workers, and — when a grid stays
+// silent through repeated recovery attempts — retires it so the remaining
+// grids still converge. A divergence monitor rolls the iterate back to the
+// best checkpoint when the residual blows up instead of returning garbage.
 package distmem
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
+	"asyncmg/internal/fault"
 	"asyncmg/internal/mg"
 	"asyncmg/internal/vec"
+)
+
+// Default recovery parameters (see Config).
+const (
+	DefaultWatchdogTimeout = 100 * time.Millisecond
+	DefaultRespawnAfter    = 2
+	DefaultRetireAfter     = 6
+	DefaultDivergeFactor   = 1e8
+	// maxBackoffFactor caps the watchdog's exponential backoff at this
+	// multiple of WatchdogTimeout.
+	maxBackoffFactor = 16
 )
 
 // Config parameterizes a distributed simulation.
@@ -33,7 +57,8 @@ type Config struct {
 	// performs.
 	MaxCorrections int
 	// Latency delays every message by this duration (0 = none), modelling
-	// interconnect latency.
+	// interconnect latency. Shorthand for Fault.BaseDelay (ignored when
+	// Fault.BaseDelay is set).
 	Latency time.Duration
 	// BroadcastEvery makes the owner rebroadcast the residual after every
 	// this-many applied corrections (default 1: after each).
@@ -47,6 +72,32 @@ type Config struct {
 	// MaxLead to -1 for that unbounded behaviour (useful to reproduce the
 	// imbalance pathology).
 	MaxLead int
+
+	// Fault configures the fault-injection transport. The zero value is a
+	// perfect network.
+	Fault fault.Config
+	// WatchdogTimeout is how long the owner waits without applying any
+	// correction before firing recovery: rebroadcast with exponential
+	// backoff, then respawn, then retirement of persistently silent
+	// grids. 0 selects DefaultWatchdogTimeout; negative disables the
+	// watchdog (a lossy network can then hang the solve until ctx fires).
+	WatchdogTimeout time.Duration
+	// RespawnAfter is the number of consecutive no-progress watchdog
+	// fires after which a stalled grid's worker is respawned (the
+	// recovery for a crashed worker). 0 selects DefaultRespawnAfter.
+	RespawnAfter int
+	// RetireAfter is the number of consecutive no-progress watchdog fires
+	// after which a stalled grid is declared dead and retired: the owner
+	// reports it as finished in subsequent snapshots (releasing the
+	// MaxLead pacing bound) and stops waiting for its corrections, so the
+	// remaining grids converge without it. 0 selects DefaultRetireAfter.
+	RetireAfter int
+	// DivergeFactor triggers the divergence monitor when ‖r‖ exceeds
+	// DivergeFactor·‖b‖: the owner rolls x and r back to the best
+	// checkpoint seen and rebroadcasts, instead of letting the iterate
+	// blow up silently. 0 selects DefaultDivergeFactor; negative
+	// disables the monitor.
+	DivergeFactor float64
 }
 
 // Result reports a distributed solve.
@@ -55,7 +106,8 @@ type Result struct {
 	X []float64
 	// RelRes is ‖b − A X‖₂/‖b‖₂ computed from scratch at the end.
 	RelRes float64
-	// Corrections[k] counts grid k's corrections (== MaxCorrections).
+	// Corrections[k] counts grid k's applied corrections
+	// (== MaxCorrections in a fault-free run).
 	Corrections []int
 	// ResidualBroadcasts counts how many residual snapshots the owner sent.
 	ResidualBroadcasts int
@@ -65,14 +117,36 @@ type Result struct {
 	StaleDrops int
 	// Elapsed is the wall-clock solve time.
 	Elapsed time.Duration
-	// Diverged is set when the final iterate is non-finite.
+	// Diverged is set when the final iterate is non-finite or the final
+	// relative residual exceeds vec.DivergedRelRes (the paper's † marker).
 	Diverged bool
+
+	// Drops, Duplicates and DelayedMsgs count messages the fault
+	// transport lost, duplicated, and reorder-delayed.
+	Drops, Duplicates, DelayedMsgs int
+	// Crashes counts scheduled worker crashes that fired; Respawns counts
+	// workers the watchdog restarted.
+	Crashes, Respawns int
+	// WatchdogFires counts owner watchdog timeouts (each one triggers a
+	// recovery rebroadcast).
+	WatchdogFires int
+	// DivergenceResets counts rollbacks to the best checkpoint after a
+	// residual blow-up.
+	DivergenceResets int
+	// Discarded counts corrections the owner rejected as duplicate, stale
+	// or from a retired grid (at-least-once delivery made idempotent).
+	Discarded int
+	// RetiredGrids lists grids the owner declared dead and removed from
+	// the termination condition and the MaxLead pacing bound.
+	RetiredGrids []int
 }
 
 // actionable reports whether worker k, about to compute its it-th
 // correction, may act on a snapshot with the given applied-correction
 // counts: its own previous correction must be reflected, and (for bounded
 // lead) no other unfinished grid may lag more than lead corrections behind.
+// Grids the snapshot reports at maxCorr (finished or retired) do not bound
+// the lead.
 func actionable(counts []int, k, it, maxCorr, lead int) bool {
 	if counts[k] < it {
 		return false
@@ -95,14 +169,35 @@ func actionable(counts []int, k, it, maxCorr, lead int) bool {
 // applied correction. Test-only hook.
 var debugTrace func(applied, grid int, rnorm float64)
 
-// correction is a worker→owner message.
-type correction struct {
-	grid int
-	c    []float64
+// snapshot is an owner→worker message: the residual and the per-grid
+// applied-correction counts at the moment it was taken. Workers only read
+// it, so one snapshot instance is shared by a whole broadcast wave.
+type snapshot struct {
+	// counts[j] is the number of grid j's corrections the owner had
+	// applied (retired grids are reported at MaxCorrections). Worker k's
+	// next correction index is counts[k]: the protocol is stateless on
+	// the worker side, which is what makes crash/respawn and duplicate
+	// delivery harmless.
+	counts []int
+	r      []float64
+	// resend marks watchdog recovery broadcasts: workers recompute and
+	// resend their current correction even if they already sent it (the
+	// original may have been lost).
+	resend bool
 }
 
-// Solve runs the distributed asynchronous additive solve on A x = b, x0 = 0.
-func Solve(s *mg.Setup, b []float64, cfg Config) (*Result, error) {
+// correction is a worker→owner message. it tags the correction index so
+// the owner can deduplicate.
+type correction struct {
+	grid, it int
+	c        []float64
+}
+
+// Solve runs the distributed asynchronous additive solve on A x = b,
+// x0 = 0. It returns an error when ctx is cancelled or its deadline passes
+// before the solve finishes; faults the recovery machinery survives (drops,
+// crashes, retired grids) are reported in the Result instead.
+func Solve(ctx context.Context, s *mg.Setup, b []float64, cfg Config) (*Result, error) {
 	if cfg.Method != mg.Multadd && cfg.Method != mg.AFACx {
 		return nil, fmt.Errorf("distmem: method %v not supported", cfg.Method)
 	}
@@ -119,151 +214,266 @@ func Solve(s *mg.Setup, b []float64, cfg Config) (*Result, error) {
 	}
 	l := s.NumLevels()
 	a := s.H.Levels[0].A
+	maxCorr := cfg.MaxCorrections
 	lead := cfg.MaxLead
 	if lead == 0 {
 		lead = 2
 	}
-
-	// Newest-wins residual mailboxes, one per worker. Snapshots carry a
-	// sequence number so that a snapshot delayed by the interconnect can
-	// never displace a newer one already in the mailbox.
-	type snapshot struct {
-		seq int64
-		// counts[j] is the number of grid j's corrections the owner had
-		// applied when this snapshot was taken. A worker only acts on
-		// snapshots whose own count equals its send count (otherwise it
-		// would re-correct an error its own in-flight correction already
-		// addressed), and — when MaxLead >= 0 — whose slowest other grid is
-		// within MaxLead corrections (the paper's balanced-corrections
-		// premise).
-		counts []int
-		r      []float64
+	wdTimeout := cfg.WatchdogTimeout
+	if wdTimeout == 0 {
+		wdTimeout = DefaultWatchdogTimeout
 	}
-	mailboxes := make([]chan snapshot, l)
-	for k := range mailboxes {
-		mailboxes[k] = make(chan snapshot, 1)
+	respawnAfter := cfg.RespawnAfter
+	if respawnAfter <= 0 {
+		respawnAfter = DefaultRespawnAfter
 	}
-	corrCh := make(chan correction, 2*l)
-
-	var staleMu sync.Mutex
-	staleDrops := 0
-	var seqCounter int64
-	post := func(k int, seq int64, counts []int, r []float64) {
-		msg := snapshot{
-			seq:    seq,
-			counts: append([]int(nil), counts...),
-			r:      append([]float64(nil), r...),
-		}
-		deliver := func() {
-			for {
-				select {
-				case mailboxes[k] <- msg:
-					return
-				default:
-					// Mailbox full: keep whichever snapshot is newer.
-					select {
-					case cur := <-mailboxes[k]:
-						staleMu.Lock()
-						staleDrops++
-						staleMu.Unlock()
-						if cur.seq > msg.seq {
-							msg = cur
-						}
-					default:
-					}
-				}
-			}
-		}
-		if cfg.Latency > 0 {
-			go func() {
-				time.Sleep(cfg.Latency)
-				deliver()
-			}()
-			return
-		}
-		deliver()
+	retireAfter := cfg.RetireAfter
+	if retireAfter <= 0 {
+		retireAfter = DefaultRetireAfter
+	}
+	divergeFactor := cfg.DivergeFactor
+	if divergeFactor == 0 {
+		divergeFactor = DefaultDivergeFactor
 	}
 
-	start := time.Now()
-	// Workers: one process per grid.
-	for k := 0; k < l; k++ {
-		go func(k int) {
+	fc := cfg.Fault
+	if fc.BaseDelay == 0 && cfg.Latency > 0 {
+		fc.BaseDelay = cfg.Latency
+	}
+	tr := fault.New(fc, l)
+
+	ictx, cancel := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	shutdown := func() {
+		cancel()
+		tr.Close()
+		wg.Wait()
+	}
+	defer shutdown()
+
+	// Workers: one stateless process per grid. A worker derives its next
+	// correction index from the snapshot itself, so a respawned (or
+	// duplicate) worker picks up exactly where the owner's applied state
+	// says the grid is.
+	startWorker := func(k int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
 			ws := s.NewCorrWorkspace()
 			out := make([]float64, n)
-			for it := 0; it < cfg.MaxCorrections; it++ {
-				snap := <-mailboxes[k]
-				for !actionable(snap.counts, k, it, cfg.MaxCorrections, lead) {
-					// Either the snapshot predates our own last correction,
-					// or we are too far ahead of a slower grid; wait for a
-					// fresher snapshot (the owner broadcasts after every
-					// applied correction, so one is guaranteed to come).
-					snap = <-mailboxes[k]
+			lastSent := -1
+			for {
+				var m fault.Msg
+				select {
+				case <-ictx.Done():
+					return
+				case m = <-tr.Down(k):
+				}
+				snap := m.Payload.(snapshot)
+				it := snap.counts[k]
+				if it >= maxCorr {
+					return // this grid is done (or retired)
+				}
+				if it == lastSent && !snap.resend {
+					continue // correction already in flight; await news
+				}
+				if !actionable(snap.counts, k, it, maxCorr, lead) {
+					continue // too far ahead of a slower grid; await news
+				}
+				if tr.CrashNow(k, it) {
+					return // scheduled crash: the process dies mid-solve
 				}
 				s.GridCorrection(cfg.Method, k, out, snap.r, ws)
-				msg := correction{grid: k, c: append([]float64(nil), out...)}
-				if cfg.Latency > 0 {
-					go func() {
-						time.Sleep(cfg.Latency)
-						corrCh <- msg
-					}()
-				} else {
-					corrCh <- msg
-				}
+				tr.SendUp(k, fault.Msg{From: k, Seq: int64(it), Payload: correction{
+					grid: k, it: it, c: append([]float64(nil), out...),
+				}})
+				lastSent = it
 			}
-		}(k)
+		}()
+	}
+	start := time.Now()
+	for k := 0; k < l; k++ {
+		if !tr.Dead(k) {
+			startWorker(k)
+		}
 	}
 
-	// Owner process: applies corrections and rebroadcasts the residual.
+	// Owner process: applies corrections, deduplicates, rebroadcasts the
+	// residual, and runs the recovery machinery.
 	x := make([]float64, n)
 	r := append([]float64(nil), b...)
 	ac := make([]float64, n)
 	res := &Result{Corrections: make([]int, l)}
-	seqCounter++
-	for k := 0; k < l; k++ {
-		post(k, seqCounter, res.Corrections, r)
-		res.ResidualBroadcasts++
+	counts := res.Corrections
+	retired := make([]bool, l)
+	normB := vec.Norm2(b)
+	if normB == 0 {
+		normB = 1
 	}
-	// Every worker sends exactly MaxCorrections corrections, so the owner
-	// knows the total message count in advance (no termination protocol
-	// needed in the simulation).
-	total := l * cfg.MaxCorrections
-	applied := 0
-	for applied < total {
-		msg := <-corrCh
-		res.Corrections[msg.grid]++
-		vec.Axpy(1, x, msg.c)
-		// Residual-based update: r ← r − A c.
-		a.MatVec(ac, msg.c)
-		vec.Axpy(-1, r, ac)
-		applied++
-		if debugTrace != nil {
-			debugTrace(applied, msg.grid, vec.Norm2(r))
-		}
-		// Broadcast on the configured cadence, and also whenever the inbox
-		// runs dry: every worker may be blocked waiting for a fresh
-		// snapshot, so withholding one would deadlock the simulation.
-		if applied%bcEvery == 0 || len(corrCh) == 0 {
-			seqCounter++
-			for k := 0; k < l; k++ {
-				post(k, seqCounter, res.Corrections, r)
-				res.ResidualBroadcasts++
+	// Best-iterate checkpoint for the divergence monitor (x = 0 to start).
+	bestX := make([]float64, n)
+	bestR := append([]float64(nil), b...)
+	bestNorm := vec.Norm2(r)
+	divLimit := math.Inf(1)
+	if divergeFactor > 0 {
+		divLimit = divergeFactor * normB
+	}
+
+	finished := func(k int) bool { return retired[k] || counts[k] >= maxCorr }
+	allDone := func() bool {
+		for k := 0; k < l; k++ {
+			if !finished(k) {
+				return false
 			}
 		}
+		return true
 	}
+	var seq int64
+	broadcast := func(resend bool) {
+		seq++
+		sc := append([]int(nil), counts...)
+		for j, dead := range retired {
+			if dead {
+				sc[j] = maxCorr // report retired grids as finished
+			}
+		}
+		snap := snapshot{counts: sc, r: append([]float64(nil), r...), resend: resend}
+		for k := 0; k < l; k++ {
+			tr.SendDown(k, fault.Msg{From: -1, Seq: seq, Payload: snap})
+			res.ResidualBroadcasts++
+		}
+	}
+
+	// Watchdog bookkeeping: silence[k] counts consecutive watchdog fires
+	// during which unfinished grid k was the (joint) slowest and made no
+	// progress — only such grids can be stalling the whole solve, so only
+	// they are respawned and, ultimately, retired.
+	backoff := wdTimeout
+	maxBackoff := maxBackoffFactor * wdTimeout
+	silence := make([]int, l)
+	lastCounts := make([]int, l)
+	watchdogOn := wdTimeout > 0
+	timerDur := wdTimeout
+	if !watchdogOn {
+		timerDur = time.Duration(math.MaxInt64)
+	}
+	timer := time.NewTimer(timerDur)
+	defer timer.Stop()
+	resetTimer := func(d time.Duration, drained bool) {
+		if !drained && !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(d)
+	}
+
+	broadcast(false)
+	applied := 0
+	for !allDone() {
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("distmem: solve aborted after %d applied corrections: %w",
+				applied, ctx.Err())
+
+		case m := <-tr.Up():
+			c := m.Payload.(correction)
+			if retired[c.grid] || counts[c.grid] >= maxCorr || c.it != counts[c.grid] {
+				res.Discarded++
+				continue
+			}
+			counts[c.grid]++
+			vec.Axpy(1, x, c.c)
+			// Residual-based update: r ← r − A c.
+			a.MatVec(ac, c.c)
+			vec.Axpy(-1, r, ac)
+			applied++
+			rnorm := vec.Norm2(r)
+			if debugTrace != nil {
+				debugTrace(applied, c.grid, rnorm)
+			}
+			if rnorm > divLimit || math.IsNaN(rnorm) {
+				// Divergence: roll back to the best checkpoint and force
+				// every grid to recompute from the restored residual.
+				copy(x, bestX)
+				copy(r, bestR)
+				res.DivergenceResets++
+				broadcast(true)
+			} else {
+				if rnorm <= bestNorm {
+					bestNorm = rnorm
+					copy(bestX, x)
+					copy(bestR, r)
+				}
+				// Broadcast on the configured cadence, and also whenever
+				// the inbox runs dry: every worker may be blocked waiting
+				// for a fresh snapshot, so withholding one would stall the
+				// simulation until the watchdog fires.
+				if applied%bcEvery == 0 || tr.UpBacklog() == 0 {
+					broadcast(false)
+				}
+			}
+			if watchdogOn {
+				backoff = wdTimeout
+				resetTimer(backoff, false)
+			}
+
+		case <-timer.C:
+			res.WatchdogFires++
+			// Identify the stragglers: unfinished grids at the minimum
+			// applied count that made no progress since the last fire.
+			minC := math.MaxInt
+			for k := 0; k < l; k++ {
+				if !finished(k) && counts[k] < minC {
+					minC = counts[k]
+				}
+			}
+			for k := 0; k < l; k++ {
+				if finished(k) || counts[k] != minC || counts[k] != lastCounts[k] {
+					silence[k] = 0
+					continue
+				}
+				silence[k]++
+				if silence[k] == respawnAfter {
+					startWorker(k)
+					res.Respawns++
+				}
+				if silence[k] >= retireAfter {
+					retired[k] = true
+					res.RetiredGrids = append(res.RetiredGrids, k)
+					silence[k] = 0
+				}
+			}
+			copy(lastCounts, counts)
+			if !allDone() {
+				broadcast(true)
+			}
+			backoff *= 2
+			if backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+			resetTimer(backoff, true)
+		}
+	}
+
+	// Tear down the transport and workers before reading the fault
+	// counters, so delayed in-flight deliveries are fully drained (no
+	// goroutine outlives Solve).
+	shutdown()
 	res.Elapsed = time.Since(start)
-	staleMu.Lock()
-	res.StaleDrops = staleDrops
-	staleMu.Unlock()
+	st := tr.Stats()
+	res.StaleDrops = int(st.StaleDrops)
+	res.Drops = int(st.Drops)
+	res.Duplicates = int(st.Duplicates)
+	res.DelayedMsgs = int(st.Delayed)
+	res.Crashes = int(st.Crashes)
 
 	// True residual from scratch.
 	rr := make([]float64, n)
 	a.Residual(rr, b, x)
-	nb := vec.Norm2(b)
-	if nb == 0 {
-		nb = 1
-	}
 	res.X = x
-	res.RelRes = vec.Norm2(rr) / nb
-	res.Diverged = vec.HasNonFinite(x)
+	res.RelRes = vec.Norm2(rr) / normB
+	res.Diverged = vec.Diverged(x, res.RelRes)
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package distmem
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -25,13 +26,13 @@ func buildSetup(t *testing.T, n int) *mg.Setup {
 func TestValidation(t *testing.T) {
 	s := buildSetup(t, 6)
 	b := grid.RandomRHS(s.LevelSize(0), 1)
-	if _, err := Solve(s, b, Config{Method: mg.Mult, MaxCorrections: 5}); err == nil {
+	if _, err := Solve(context.Background(), s, b, Config{Method: mg.Mult, MaxCorrections: 5}); err == nil {
 		t.Error("Mult accepted")
 	}
-	if _, err := Solve(s, b, Config{Method: mg.Multadd, MaxCorrections: 0}); err == nil {
+	if _, err := Solve(context.Background(), s, b, Config{Method: mg.Multadd, MaxCorrections: 0}); err == nil {
 		t.Error("zero corrections accepted")
 	}
-	if _, err := Solve(s, b[:2], Config{Method: mg.Multadd, MaxCorrections: 5}); err == nil {
+	if _, err := Solve(context.Background(), s, b[:2], Config{Method: mg.Multadd, MaxCorrections: 5}); err == nil {
 		t.Error("short RHS accepted")
 	}
 }
@@ -39,7 +40,7 @@ func TestValidation(t *testing.T) {
 func TestDistributedMultaddConverges(t *testing.T) {
 	s := buildSetup(t, 8)
 	b := grid.RandomRHS(s.LevelSize(0), 2)
-	res, err := Solve(s, b, Config{Method: mg.Multadd, MaxCorrections: 40})
+	res, err := Solve(context.Background(), s, b, Config{Method: mg.Multadd, MaxCorrections: 40})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestDistributedMultaddConverges(t *testing.T) {
 func TestDistributedAFACxConverges(t *testing.T) {
 	s := buildSetup(t, 8)
 	b := grid.RandomRHS(s.LevelSize(0), 3)
-	res, err := Solve(s, b, Config{Method: mg.AFACx, MaxCorrections: 80})
+	res, err := Solve(context.Background(), s, b, Config{Method: mg.AFACx, MaxCorrections: 80})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestLatencySlowsButConverges(t *testing.T) {
 	// message passing).
 	s := buildSetup(t, 8)
 	b := grid.RandomRHS(s.LevelSize(0), 4)
-	res, err := Solve(s, b, Config{
+	res, err := Solve(context.Background(), s, b, Config{
 		Method: mg.Multadd, MaxCorrections: 40, Latency: 200 * time.Microsecond,
 	})
 	if err != nil {
@@ -103,7 +104,7 @@ func TestBroadcastCadence(t *testing.T) {
 	var res *Result
 	var err error
 	go func() {
-		res, err = Solve(s, b, Config{
+		res, err = Solve(context.Background(), s, b, Config{
 			Method: mg.Multadd, MaxCorrections: 30, BroadcastEvery: 4,
 		})
 		close(done)
@@ -127,7 +128,7 @@ func TestStaleDropsObservedUnderPressure(t *testing.T) {
 	// guaranteed by the scheduler, so only log when zero.
 	s := buildSetup(t, 10)
 	b := grid.RandomRHS(s.LevelSize(0), 6)
-	res, err := Solve(s, b, Config{Method: mg.Multadd, MaxCorrections: 50})
+	res, err := Solve(context.Background(), s, b, Config{Method: mg.Multadd, MaxCorrections: 50})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestDistributedMatchesSharedMemoryQuality(t *testing.T) {
 	// the comparison noisy).
 	s := buildSetup(t, 8)
 	b := grid.RandomRHS(s.LevelSize(0), 7)
-	dist, err := Solve(s, b, Config{Method: mg.Multadd, MaxCorrections: 30})
+	dist, err := Solve(context.Background(), s, b, Config{Method: mg.Multadd, MaxCorrections: 30})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,11 +164,11 @@ func TestUnbalancedCorrectionsHurtConvergence(t *testing.T) {
 	// compared to the balanced (bounded-lead) run.
 	s := buildSetup(t, 8)
 	b := grid.RandomRHS(s.LevelSize(0), 8)
-	balanced, err := Solve(s, b, Config{Method: mg.Multadd, MaxCorrections: 30})
+	balanced, err := Solve(context.Background(), s, b, Config{Method: mg.Multadd, MaxCorrections: 30})
 	if err != nil {
 		t.Fatal(err)
 	}
-	unbalanced, err := Solve(s, b, Config{Method: mg.Multadd, MaxCorrections: 30, MaxLead: -1})
+	unbalanced, err := Solve(context.Background(), s, b, Config{Method: mg.Multadd, MaxCorrections: 30, MaxLead: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestMaxLeadOneIsNearLockstep(t *testing.T) {
 	// should be at least as good as the default.
 	s := buildSetup(t, 8)
 	b := grid.RandomRHS(s.LevelSize(0), 9)
-	res, err := Solve(s, b, Config{Method: mg.Multadd, MaxCorrections: 30, MaxLead: 1})
+	res, err := Solve(context.Background(), s, b, Config{Method: mg.Multadd, MaxCorrections: 30, MaxLead: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,233 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+// driveUp pushes n messages up link k and returns the sequence numbers that
+// came out, in order (no delays configured ⇒ synchronous FIFO delivery).
+func driveUp(t *testing.T, tr *Transport, k, n int) []int64 {
+	t.Helper()
+	var got []int64
+	for i := 0; i < n; i++ {
+		tr.SendUp(k, Msg{From: k, Seq: int64(i), Payload: i})
+		for len(tr.Up()) > 0 {
+			got = append(got, (<-tr.Up()).Seq)
+		}
+	}
+	return got
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	// Same seed ⇒ identical drop/duplicate schedule and counters,
+	// independent of wall-clock timing.
+	cfg := Config{Seed: 42, DropRate: 0.3, DupRate: 0.2}
+	a := New(cfg, 2)
+	b := New(cfg, 2)
+	defer a.Close()
+	defer b.Close()
+	gotA := driveUp(t, a, 1, 200)
+	gotB := driveUp(t, b, 1, 200)
+	if len(gotA) != len(gotB) {
+		t.Fatalf("replay length mismatch: %d vs %d", len(gotA), len(gotB))
+	}
+	for i := range gotA {
+		if gotA[i] != gotB[i] {
+			t.Fatalf("replay diverges at %d: %d vs %d", i, gotA[i], gotB[i])
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("counter mismatch: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	st := a.Stats()
+	if st.Drops == 0 || st.Duplicates == 0 {
+		t.Errorf("expected both drops and duplicates at 30%%/20%% over 200 sends: %+v", st)
+	}
+	if got, want := int64(len(gotA)), 200-st.Drops+st.Duplicates; got != want {
+		t.Errorf("delivered %d messages, want 200 - %d drops + %d dups = %d",
+			got, st.Drops, st.Duplicates, want)
+	}
+
+	// A different seed must yield a different schedule (overwhelmingly
+	// likely over 200 sends).
+	cfg.Seed = 43
+	c := New(cfg, 2)
+	defer c.Close()
+	gotC := driveUp(t, c, 1, 200)
+	if len(gotC) == len(gotA) {
+		same := true
+		for i := range gotA {
+			if gotA[i] != gotC[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced the identical schedule")
+		}
+	}
+}
+
+func TestLinksAreIndependent(t *testing.T) {
+	// The schedule on one link must not depend on traffic on another.
+	cfg := Config{Seed: 7, DropRate: 0.5}
+	a := New(cfg, 3)
+	b := New(cfg, 3)
+	defer a.Close()
+	defer b.Close()
+	// Interleave traffic on link 0 of transport b only (draining as we
+	// go: the owner queue is bounded).
+	var gotA, gotB []int64
+	for i := 0; i < 100; i++ {
+		b.SendUp(0, Msg{From: 0, Seq: int64(1000 + i)})
+		for len(b.Up()) > 0 {
+			<-b.Up()
+		}
+	}
+	gotA = driveUp(t, a, 2, 100)
+	gotB = driveUp(t, b, 2, 100)
+	if len(gotA) != len(gotB) {
+		t.Fatalf("link-2 schedule changed with unrelated link-0 traffic: %d vs %d deliveries",
+			len(gotA), len(gotB))
+	}
+	for i := range gotA {
+		if gotA[i] != gotB[i] {
+			t.Fatalf("link-2 schedule diverges at %d", i)
+		}
+	}
+}
+
+func TestNewestWinsMailbox(t *testing.T) {
+	tr := New(Config{}, 1)
+	defer tr.Close()
+	tr.SendDown(0, Msg{Seq: 3})
+	tr.SendDown(0, Msg{Seq: 5}) // overwrites 3
+	tr.SendDown(0, Msg{Seq: 4}) // loses to incumbent 5
+	got := <-tr.Down(0)
+	if got.Seq != 5 {
+		t.Errorf("mailbox kept seq %d, want newest 5", got.Seq)
+	}
+	if st := tr.Stats(); st.StaleDrops != 2 {
+		t.Errorf("StaleDrops = %d, want 2", st.StaleDrops)
+	}
+}
+
+func TestCrashFiresOnce(t *testing.T) {
+	tr := New(Config{CrashAt: map[int]int{1: 3}}, 2)
+	defer tr.Close()
+	if tr.CrashNow(1, 2) {
+		t.Error("crashed at the wrong iteration")
+	}
+	if tr.CrashNow(0, 3) {
+		t.Error("crashed the wrong worker")
+	}
+	if !tr.CrashNow(1, 3) {
+		t.Error("scheduled crash did not fire")
+	}
+	if tr.CrashNow(1, 3) {
+		t.Error("crash fired twice (respawned worker must survive)")
+	}
+	if st := tr.Stats(); st.Crashes != 1 {
+		t.Errorf("Crashes = %d, want 1", st.Crashes)
+	}
+}
+
+func TestDeadGridSeversAllTraffic(t *testing.T) {
+	tr := New(Config{DeadGrids: []int{0}}, 2)
+	defer tr.Close()
+	if !tr.Dead(0) || tr.Dead(1) {
+		t.Fatal("Dead() wrong")
+	}
+	tr.SendDown(0, Msg{Seq: 1})
+	tr.SendUp(0, Msg{Seq: 1})
+	select {
+	case m := <-tr.Down(0):
+		t.Errorf("dead grid received %+v", m)
+	default:
+	}
+	if len(tr.Up()) != 0 {
+		t.Error("dead grid's correction was delivered")
+	}
+	if st := tr.Stats(); st.Drops != 2 {
+		t.Errorf("Drops = %d, want 2", st.Drops)
+	}
+}
+
+func TestCloseDrainsDelayedDeliveries(t *testing.T) {
+	// Delayed deliveries must not land after Close returns — the
+	// goroutine-leak fix for the old raw-channel latency model.
+	tr := New(Config{BaseDelay: 50 * time.Millisecond}, 1)
+	for i := 0; i < 8; i++ {
+		tr.SendDown(0, Msg{Seq: int64(i)})
+		tr.SendUp(0, Msg{Seq: int64(i)})
+	}
+	start := time.Now()
+	tr.Close()
+	if d := time.Since(start); d > 40*time.Millisecond {
+		t.Errorf("Close took %v; want prompt cancellation of delayed deliveries", d)
+	}
+	select {
+	case m := <-tr.Down(0):
+		t.Errorf("delivery %+v landed after Close", m)
+	default:
+	}
+	if len(tr.Up()) != 0 {
+		t.Error("up delivery landed after Close")
+	}
+	// Sends after Close are silent no-ops.
+	tr.SendUp(0, Msg{Seq: 99})
+	if len(tr.Up()) != 0 {
+		t.Error("send after Close was delivered")
+	}
+}
+
+func TestDelayedDeliveryArrives(t *testing.T) {
+	tr := New(Config{BaseDelay: 2 * time.Millisecond}, 1)
+	defer tr.Close()
+	tr.SendUp(0, Msg{Seq: 1})
+	select {
+	case <-tr.Up():
+	case <-time.After(2 * time.Second):
+		t.Fatal("delayed delivery never arrived")
+	}
+}
+
+func TestStragglerAndReorder(t *testing.T) {
+	// With a large extra delay on a fraction of messages, later sends can
+	// overtake earlier ones.
+	tr := New(Config{
+		Seed:       1,
+		DelayRate:  0.5,
+		ExtraDelay: 20 * time.Millisecond,
+		Straggler:  map[int]time.Duration{0: time.Millisecond},
+	}, 1)
+	defer tr.Close()
+	const n = 40
+	for i := 0; i < n; i++ {
+		tr.SendUp(0, Msg{Seq: int64(i)})
+	}
+	var got []int64
+	deadline := time.After(5 * time.Second)
+	for len(got) < n {
+		select {
+		case m := <-tr.Up():
+			got = append(got, m.Seq)
+		case <-deadline:
+			t.Fatalf("only %d of %d delivered", len(got), n)
+		}
+	}
+	reordered := false
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			reordered = true
+			break
+		}
+	}
+	if !reordered {
+		t.Error("no reordering observed despite 50% extra-delay rate")
+	}
+	if st := tr.Stats(); st.Delayed == 0 {
+		t.Errorf("Delayed = 0, want > 0 (stats: %+v)", st)
+	}
+}

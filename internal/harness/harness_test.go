@@ -277,3 +277,31 @@ func TestDefaultConfigsAreSane(t *testing.T) {
 		t.Errorf("PaperSetup(7pt) NumFunctions = %d", o.AMG.NumFunctions)
 	}
 }
+
+func TestFaultSweepSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := DefaultFault()
+	cfg.Size = 8
+	cfg.Updates = 20
+	cfg.DropRates = []float64{0.10}
+	if err := FaultSweep(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"drop=0.10", "crash w1@5", "dead-coarse", "retired"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fault sweep output missing %q:\n%s", want, out)
+		}
+	}
+	// Every scenario row must report a residual well below 1: the sweep's
+	// whole point is that the solver survives these regimes.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2+7 { // comment + column header + 7 scenario rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	for _, line := range lines[2:] {
+		if strings.Contains(line, "e+") || strings.Contains(line, "†") {
+			t.Errorf("scenario did not converge: %s", line)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -92,7 +93,7 @@ func (p Protocol) TimeToTol(s *mg.Setup, spec MethodSpec) TTResult {
 		cfg.Criterion = async.Criterion2
 		cfg.Threads = p.Threads
 		cfg.MaxCycles = p.CycleMax
-		res, err := async.Solve(s, b, cfg)
+		res, err := async.Solve(context.Background(), s, b, cfg)
 		switch {
 		case err != nil:
 			return TTResult{Diverged: true}
@@ -114,7 +115,7 @@ func (p Protocol) TimeToTol(s *mg.Setup, spec MethodSpec) TTResult {
 			cfg.Criterion = async.Criterion2
 			cfg.Threads = p.Threads
 			cfg.MaxCycles = cycles
-			res, err := async.Solve(s, b, cfg)
+			res, err := async.Solve(context.Background(), s, b, cfg)
 			if err != nil {
 				return TTResult{Diverged: true}
 			}
@@ -153,7 +154,7 @@ func (p Protocol) MeanRelRes(s *mg.Setup, spec MethodSpec, cycles int) (float64,
 		cfg.Criterion = async.Criterion1
 		cfg.Threads = p.Threads
 		cfg.MaxCycles = cycles
-		res, err := async.Solve(s, b, cfg)
+		res, err := async.Solve(context.Background(), s, b, cfg)
 		if err != nil || res.Diverged {
 			return math.Inf(1), true
 		}

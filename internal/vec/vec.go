@@ -121,3 +121,18 @@ func HasNonFinite(v []float64) bool {
 	}
 	return false
 }
+
+// DivergedRelRes is the relative-residual threshold beyond which a solve is
+// reported as diverged even when the iterate is still finite: a residual
+// that has grown ten orders of magnitude is garbage whether or not it has
+// overflowed yet.
+const DivergedRelRes = 1e10
+
+// Diverged reports whether a solve with final iterate x and relative
+// residual relres diverged (the paper's † marker): the iterate contains
+// non-finite values, the residual is non-finite, or the residual exceeds
+// DivergedRelRes.
+func Diverged(x []float64, relres float64) bool {
+	return HasNonFinite(x) || math.IsNaN(relres) || math.IsInf(relres, 0) ||
+		relres > DivergedRelRes
+}

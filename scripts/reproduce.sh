@@ -11,6 +11,7 @@ mkdir -p results
 echo "== Figures 1-2 (Section III model simulations) =="
 go run ./cmd/mgsim -fig 1 -runs "$RUNS" | tee results/fig1.txt
 go run ./cmd/mgsim -fig 2 -runs "$RUNS" | tee results/fig2.txt
+go run ./cmd/mgsim -fault | tee results/fault.txt
 
 echo "== Figures 4-6 and Table I (parallel solvers) =="
 go run ./cmd/mgbench -fig 4   | tee results/fig4.txt
