@@ -58,10 +58,29 @@ import (
 	"asyncmg/internal/mg"
 	"asyncmg/internal/model"
 	"asyncmg/internal/mtx"
+	"asyncmg/internal/par"
 	"asyncmg/internal/smoother"
 	"asyncmg/internal/sparse"
 	"asyncmg/internal/spectral"
 )
+
+// ---- Parallel kernel configuration ----
+
+// SetParallelKernels configures the shared worker pool behind the
+// goroutine-sharded SpMV/residual/axpy/reduction kernels that the cycle
+// engine runs on. workers is the pool size (0 restores GOMAXPROCS);
+// threshold is the minimum work (nonzeros for matrix kernels, elements
+// for vector kernels) below which kernels stay serial (0 restores the
+// default). Sharded matrix kernels and axpys are bitwise-identical to
+// their serial forms for any worker count; only reductions (dot/norm)
+// can differ at rounding level.
+func SetParallelKernels(workers, threshold int) {
+	par.SetWorkers(workers)
+	par.SetThreshold(threshold)
+}
+
+// ParallelKernelThreshold reports the current serial-fallback threshold.
+func ParallelKernelThreshold() int { return par.Threshold() }
 
 // ---- Sparse linear algebra ----
 

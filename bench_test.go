@@ -359,6 +359,27 @@ func BenchmarkKernelAMGSetup(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelCycleAllocs drives one engine cycle per method on a held
+// workspace with allocation reporting: the engine's contract is 0
+// allocs/op in steady state (see internal/engine's alloc tests).
+func BenchmarkKernelCycleAllocs(b *testing.B) {
+	for _, m := range []asyncmg.Method{asyncmg.Mult, asyncmg.Multadd, asyncmg.AFACx, asyncmg.BPX} {
+		b.Run(m.String(), func(b *testing.B) {
+			s := benchSetup(b, "27pt", 12, 1, asyncmg.WJacobi, 0.9)
+			rhs := asyncmg.RandomRHS(s.LevelSize(0), 1)
+			x := make([]float64, s.LevelSize(0))
+			w := s.AcquireWorkspace()
+			defer s.ReleaseWorkspace(w)
+			s.Cycle(m, x, rhs, w) // warm up the coarse solver
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Cycle(m, x, rhs, w)
+			}
+		})
+	}
+}
+
 func BenchmarkKernelVCycle(b *testing.B) {
 	for _, m := range []asyncmg.Method{asyncmg.Mult, asyncmg.Multadd, asyncmg.AFACx} {
 		b.Run(m.String(), func(b *testing.B) {

@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"asyncmg/internal/harness"
+	"asyncmg/internal/par"
 )
 
 func main() {
@@ -39,7 +40,11 @@ func main() {
 	threads := flag.Int("threads", 0, "goroutine budget (0 = default)")
 	threadsList := flag.String("threads-list", "", "comma-separated thread counts for -fig 6")
 	tau := flag.Float64("tau", 0, "tolerance (0 = 1e-9, the paper's)")
+	parWorkers := flag.Int("par-workers", 0, "worker-pool size for the sharded level kernels (0 = GOMAXPROCS)")
+	parThreshold := flag.Int("par-threshold", 0, "minimum kernel work before sharding; smaller levels stay serial (0 = default)")
 	flag.Parse()
+	par.SetWorkers(*parWorkers)
+	par.SetThreshold(*parThreshold)
 
 	if *table == 0 && *fig == 0 && !*all {
 		flag.Usage()

@@ -23,6 +23,7 @@ import (
 	"asyncmg/internal/harness"
 	"asyncmg/internal/mg"
 	"asyncmg/internal/mtx"
+	"asyncmg/internal/par"
 	"asyncmg/internal/smoother"
 	"asyncmg/internal/sparse"
 )
@@ -44,7 +45,11 @@ func main() {
 	writeMode := flag.String("write", "atomic", "async write mode: lock, atomic")
 	resMode := flag.String("res", "local", "async residual mode: local, global, residual")
 	seed := flag.Int64("seed", 1, "right-hand-side seed")
+	parWorkers := flag.Int("par-workers", 0, "worker-pool size for the sharded level kernels (0 = GOMAXPROCS)")
+	parThreshold := flag.Int("par-threshold", 0, "minimum kernel work before sharding; smaller levels stay serial (0 = default)")
 	flag.Parse()
+	par.SetWorkers(*parWorkers)
+	par.SetThreshold(*parThreshold)
 
 	var a *sparse.CSR
 	var err error

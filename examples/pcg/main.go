@@ -53,10 +53,16 @@ func main() {
 
 	fmt.Println("\nCG at tolerance 1e-9:")
 	run("plain CG", nil)
-	run("BPX-preconditioned", asyncmg.NewMGPreconditioner(setup, asyncmg.BPX))
+	// Preconditioners borrow their cycle workspace from the setup's pool;
+	// Release returns it so successive preconditioners reuse the same
+	// scratch instead of growing new per-level buffers.
+	bpx := asyncmg.NewMGPreconditioner(setup, asyncmg.BPX)
+	run("BPX-preconditioned", bpx)
+	bpx.Release()
 	sym := asyncmg.NewMGPreconditioner(setup, asyncmg.Multadd)
 	sym.Symmetrized = true
 	run("symmetrized-Multadd", sym)
+	sym.Release()
 
 	fmt.Println("\nBPX diverges as a standalone solver (over-correction) but makes")
 	fmt.Println("an excellent preconditioner — the paper's Section II.B observation.")

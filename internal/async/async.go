@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"asyncmg/internal/engine"
 	"asyncmg/internal/mg"
 	"asyncmg/internal/partition"
 	"asyncmg/internal/smoother"
@@ -228,6 +229,11 @@ type gridRun struct {
 	xk, rk []float64
 	// eBuf holds the level-k correction; modBuf the AFACx modified RHS.
 	eBuf, modBuf []float64
+	// buf views the scratch above as the engine's correction buffers;
+	// sites[tid] adapts each thread to the engine's Site interface. Both
+	// are built once so the steady-state correction allocates nothing.
+	buf   engine.CorrBuffers
+	sites []teamSite
 	// smoothers with team-sized blocks for level k and (AFACx) k+1.
 	smo, smoNext *smoother.S
 	// eAtom is the level-k atomic buffer used by async GS smoothing.
@@ -388,21 +394,24 @@ func newGridRun(rt *solverState, k, m int) (*gridRun, error) {
 	all := partition.SplitRows(rt.n, rt.cfg.Threads)
 	g.globalRanges = all[offset : offset+m]
 
-	cfg := s.Cfg
-	cfg.Blocks = m
 	var err error
-	g.smo, err = smoother.New(s.H.Levels[k].A, cfg)
+	g.smo, err = s.NewLevelSmoother(k, m)
 	if err != nil {
 		return nil, fmt.Errorf("async: grid %d smoother: %w", k, err)
 	}
 	if rt.cfg.Method == mg.AFACx && k+1 < l {
-		g.smoNext, err = smoother.New(s.H.Levels[k+1].A, cfg)
+		g.smoNext, err = s.NewLevelSmoother(k+1, m)
 		if err != nil {
 			return nil, fmt.Errorf("async: grid %d next-level smoother: %w", k, err)
 		}
 	}
 	if s.Cfg.Kind == smoother.AsyncGS {
 		g.eAtom = vec.NewAtomic(s.LevelSize(k))
+	}
+	g.buf = engine.CorrBuffers{Lvl: g.lvl, Lvl2: g.lvl2, E: g.eBuf, Mod: g.modBuf}
+	g.sites = make([]teamSite, m)
+	for tid := 0; tid < m; tid++ {
+		g.sites[tid] = teamSite{g: g, tid: tid}
 	}
 	return g, nil
 }

@@ -4,7 +4,6 @@ import (
 	"math"
 	"runtime"
 
-	"asyncmg/internal/mg"
 	"asyncmg/internal/smoother"
 )
 
@@ -138,110 +137,51 @@ func (g *gridRun) runSync(tid int) {
 // computeCorrection performs grid k's correction from the team-local fine
 // residual rfine and returns the fine-level correction vector (a team-shared
 // buffer; fully populated after the internal barriers). The team must not
-// reuse rfine until the next cycle.
+// reuse rfine until the next cycle. The correction math itself is the
+// engine's shared implementation; every thread runs it concurrently with
+// its own teamSite, and the Site barriers reproduce the team-parallel
+// loop structure exactly.
 func (g *gridRun) computeCorrection(tid int, rfine []float64) []float64 {
-	if g.rt.cfg.Method == mg.AFACx {
-		return g.afacxCorrection(tid, rfine)
-	}
-	return g.multaddCorrection(tid, rfine)
+	return g.rt.s.Correction(g.rt.cfg.Method, g.k, rfine, &g.buf, &g.sites[tid])
 }
 
-// multaddCorrection computes P̄⁰_k Λ_k (P̄⁰_k)ᵀ rfine with team-parallel
-// SpMVs and smoothing.
-func (g *gridRun) multaddCorrection(tid int, rfine []float64) []float64 {
-	s := g.rt.s
-	k := g.k
-	// Restrict through the smoothed chain.
-	cur := rfine
-	for j := 0; j < k; j++ {
-		dst := g.lvl[j+1]
-		rg := g.levelRanges[j+1][tid]
-		s.PBarT[j].MatVecRange(dst, cur, rg.Lo, rg.Hi)
-		g.team.Wait()
-		cur = dst
-	}
-	e := g.smoothLevel(tid, k, cur)
-	// Prolongate back to the fine grid.
-	out := e
-	for j := k - 1; j >= 0; j-- {
-		dst := g.lvl2[j]
-		rg := g.levelRanges[j][tid]
-		s.PBar[j].MatVecRange(dst, out, rg.Lo, rg.Hi)
-		g.team.Wait()
-		out = dst
-	}
-	return out
+// teamSite adapts one team thread to the engine's Site interface: spans
+// are the thread's static row ranges, Sync is the team barrier, and
+// smoothing dispatches to the team-blocked smoothers (including the
+// async-GS atomic path on the grid's own level).
+type teamSite struct {
+	g   *gridRun
+	tid int
 }
 
-// afacxCorrection computes grid k's AFACx V(1/1,0) contribution with the
-// modified right-hand side (plain interpolants).
-func (g *gridRun) afacxCorrection(tid int, rfine []float64) []float64 {
-	s := g.rt.s
-	k := g.k
-	l := s.NumLevels()
-	cur := rfine
-	for j := 0; j < k; j++ {
-		dst := g.lvl[j+1]
-		rg := g.levelRanges[j+1][tid]
-		s.PT[j].MatVecRange(dst, cur, rg.Lo, rg.Hi)
-		g.team.Wait()
-		cur = dst
+func (ts *teamSite) Span(level int) (int, int) {
+	rg := ts.g.levelRanges[level][ts.tid]
+	return rg.Lo, rg.Hi
+}
+
+func (ts *teamSite) Sync() { ts.g.team.Wait() }
+
+func (ts *teamSite) Smooth(level int, e, r []float64) {
+	sm := ts.g.smo
+	if level != ts.g.k {
+		sm = ts.g.smoNext
 	}
-	var e []float64
-	if k == l-1 {
-		e = g.smoothLevel(tid, k, cur)
-	} else {
-		// One sweep on the next-coarser equations from a zero guess.
-		rkp1 := g.lvl[k+1]
-		rgN := g.levelRanges[k+1][tid]
-		s.PT[k].MatVecRange(rkp1, cur, rgN.Lo, rgN.Hi)
-		g.team.Wait()
-		ec := g.lvl2[k+1]
-		g.applySmoother(tid, g.smoNext, ec, rkp1, k+1)
-		// Modified RHS: cur − A_k·(P ec), reusing lvl2[k] for P·ec and the
-		// final smoothing output (they do not overlap in time).
-		rgK := g.levelRanges[k][tid]
-		pe := g.lvl2[k]
-		s.P[k].MatVecRange(pe, ec, rgK.Lo, rgK.Hi)
-		g.team.Wait()
-		mod := g.modBuf
-		ak := s.H.Levels[k].A
-		for i := rgK.Lo; i < rgK.Hi; i++ {
-			sum := cur[i]
-			for p := ak.RowPtr[i]; p < ak.RowPtr[i+1]; p++ {
-				sum -= ak.Vals[p] * pe[ak.ColIdx[p]]
-			}
-			mod[i] = sum
+	ts.g.applySmoother(ts.tid, sm, e, r, level)
+}
+
+func (ts *teamSite) CoarseSolve(e, r []float64) {
+	g := ts.g
+	s := g.rt.s
+	if s.H.Coarse != nil {
+		if ts.tid == 0 {
+			// modBuf is free during the coarse solve (the AFACx
+			// modified-RHS path never runs on the coarsest grid).
+			s.CoarseSolveScratch(e, r, g.modBuf)
 		}
 		g.team.Wait()
-		e = g.smoothLevel(tid, k, mod)
+		return
 	}
-	out := e
-	for j := k - 1; j >= 0; j-- {
-		dst := g.lvl2[j]
-		rg := g.levelRanges[j][tid]
-		s.P[j].MatVecRange(dst, out, rg.Lo, rg.Hi)
-		g.team.Wait()
-		out = dst
-	}
-	return out
-}
-
-// smoothLevel computes the level-k correction e = Λ_k r (zero initial
-// guess), or the exact coarse solve on the coarsest level, into a
-// team-shared buffer it returns.
-func (g *gridRun) smoothLevel(tid, k int, r []float64) []float64 {
-	s := g.rt.s
-	e := g.eBuf
-	if k == s.NumLevels()-1 && s.H.Coarse != nil {
-		if tid == 0 {
-			s.CoarseSolve(e, r)
-		}
-		g.team.Wait()
-		return e
-	}
-	g.applySmoother(tid, g.smo, e, r, k)
-	return e
+	g.applySmoother(ts.tid, g.smo, e, r, g.k)
 }
 
 // applySmoother runs one team-parallel zero-guess sweep of sm on level

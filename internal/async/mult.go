@@ -25,12 +25,11 @@ func solveMult(ctx context.Context, s *mg.Setup, b []float64, cfg Config) (*Resu
 	t := cfg.Threads
 	bar := NewBarrier(t)
 
-	// Per-level smoothers with one block per thread, plus scratch.
+	// Per-level smoothers with one block per thread (built from the
+	// engine's cached hierarchy view), plus scratch.
 	smos := make([]*smoother.S, l)
-	scfg := s.Cfg
-	scfg.Blocks = t
 	for k := 0; k < l; k++ {
-		sm, err := smoother.New(s.H.Levels[k].A, scfg)
+		sm, err := s.NewLevelSmoother(k, t)
 		if err != nil {
 			return nil, err
 		}
@@ -128,7 +127,7 @@ func solveMult(ctx context.Context, s *mg.Setup, b []float64, cfg Config) (*Resu
 				}
 				// Coarsest solve by thread 0.
 				if tid == 0 {
-					s.CoarseSolve(e[l-1], r[l-1])
+					s.CoarseSolveScratch(e[l-1], r[l-1], tmp[l-1])
 				}
 				bar.Wait()
 				// Upward sweep.

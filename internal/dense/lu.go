@@ -106,9 +106,16 @@ func (f *LU) N() int { return f.n }
 
 // Solve computes x = A⁻¹ b. x and b may alias. len(x) == len(b) == n.
 func (f *LU) Solve(x, b []float64) {
+	f.SolveScratch(x, b, make([]float64, f.n))
+}
+
+// SolveScratch is Solve with a caller-provided forward-substitution
+// scratch vector y (len >= n, clobbered), for allocation-free repeated
+// solves. y must not alias x or b.
+func (f *LU) SolveScratch(x, b, y []float64) {
 	n := f.n
 	// Apply permutation while forward-substituting L y = P b.
-	y := make([]float64, n)
+	y = y[:n]
 	for i := 0; i < n; i++ {
 		s := b[f.perm[i]]
 		ri := f.lu[i*n : (i+1)*n]

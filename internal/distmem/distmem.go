@@ -259,7 +259,8 @@ func Solve(ctx context.Context, s *mg.Setup, b []float64, cfg Config) (*Result, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ws := s.NewCorrWorkspace()
+			ws := s.AcquireCorrWorkspace()
+			defer s.ReleaseCorrWorkspace(ws)
 			out := make([]float64, n)
 			lastSent := -1
 			for {

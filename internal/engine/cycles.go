@@ -1,0 +1,349 @@
+// The multigrid cycles, moved here from package mg so every consumer
+// shares one implementation. The cycles run on the fused/parallel CSR
+// kernels of package sparse: the V-cycle down-leg collapses pre-smooth,
+// residual and restriction into one matrix sweep for diagonal smoothers,
+// and every SpMV/axpy shards onto the par worker pool for large levels.
+// All kernel substitutions are bitwise-identical to the plain serial
+// sequence, so residual histories are unchanged from the pre-engine
+// solvers; only reductions (norms) could differ, and Solve keeps the
+// serial Norm2 for bit-stable histories.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"asyncmg/internal/sparse"
+	"asyncmg/internal/vec"
+)
+
+// Cycle runs one V-cycle of the chosen method, updating x in place.
+func (s *Engine) Cycle(m Method, x, b []float64, w *Workspace) {
+	switch m {
+	case Mult:
+		s.MultCycle(x, b, w)
+	case Multadd:
+		s.MultaddCycle(x, b, w)
+	case AFACx:
+		s.AFACxCycle(x, b, w)
+	case BPX:
+		s.BPXCycle(x, b, w)
+	default:
+		panic(fmt.Sprintf("mg: unknown method %d", m))
+	}
+}
+
+// MultCycle performs one classical multiplicative V(1,1)-cycle
+// (Algorithm 1): pre-smooth and restrict down the hierarchy, exact-solve on
+// the coarsest grid, prolong and post-smooth back up, then correct x.
+func (s *Engine) MultCycle(x, b []float64, w *Workspace) {
+	l := s.NumLevels()
+	a0 := s.H.Levels[0].A
+	a0.ResidualPar(w.r[0], b, x)
+	// Downward sweep. For diagonal smoothers the pre-smooth, the
+	// post-smoothing residual and the restriction fuse into one matrix
+	// sweep; block smoothers take the two-step path.
+	for k := 0; k < l-1; k++ {
+		ak := s.H.Levels[k].A
+		if id := s.Smo[k].InvDiag(); id != nil {
+			sparse.FusedJacobiResidualRestrict(ak, s.P[k], s.PT[k], w.e[k], w.r[k+1], id, w.r[k], w.tmp[k])
+		} else {
+			vec.Zero(w.e[k])
+			s.Smo[k].Apply(w.e[k], w.r[k]) // pre-smoothing from zero guess
+			// r_{k+1} = Pᵀ (r_k − A_k e_k)
+			sparse.FusedResidualRestrict(ak, s.P[k], s.PT[k], w.r[k+1], w.r[k], w.e[k], w.tmp[k])
+		}
+	}
+	// Coarsest solve.
+	s.CoarseSolveScratch(w.e[l-1], w.r[l-1], w.tmp[l-1])
+	// Upward sweep.
+	for k := l - 2; k >= 0; k-- {
+		// e_k += P e_{k+1}
+		s.P[k].MatVecAddPar(w.e[k], w.e[k+1])
+		// e_k += Λ_k (r_k − A_k e_k): post-smoothing.
+		s.Smo[k].Sweep(w.e[k], w.r[k], w.tmp[k])
+	}
+	vec.AxpyPar(1, x, w.e[0])
+}
+
+// MultaddCycle performs one additive Multadd V-cycle (Equation 2):
+//
+//	x ← x + Σ_k P̄⁰_k Λ_k (P̄⁰_k)ᵀ r,  Λ_ℓ = A_ℓ⁻¹.
+//
+// The multilevel smoothed interpolants are applied factor by factor; the
+// restricted residuals cascade down once and each grid's correction is
+// prolongated back up and added into x.
+func (s *Engine) MultaddCycle(x, b []float64, w *Workspace) {
+	l := s.NumLevels()
+	s.H.Levels[0].A.ResidualPar(w.r[0], b, x)
+	// Cascade restrictions with the smoothed interpolants.
+	for k := 0; k < l-1; k++ {
+		s.PBarT[k].MatVecPar(w.r[k+1], w.r[k])
+	}
+	for k := 0; k < l; k++ {
+		// Grid k's correction at its own level.
+		if k == l-1 {
+			s.CoarseSolveScratch(w.e[k], w.r[k], w.tmp[k])
+		} else {
+			vec.Zero(w.e[k])
+			s.Smo[k].Apply(w.e[k], w.r[k])
+		}
+		// Prolongate to the finest level through the smoothed chain.
+		cur := w.e[k]
+		for j := k - 1; j >= 0; j-- {
+			s.PBar[j].MatVecPar(w.tmp[j], cur)
+			cur = w.tmp[j]
+		}
+		vec.AxpyPar(1, x, cur)
+	}
+}
+
+// AFACxCycle performs one AFACx V(1/1,0)-cycle (Algorithm 2). For each grid
+// k < ℓ the correction is computed with the modified right-hand side so the
+// redundant prolongations cancel:
+//
+//	e_{k+1} = Λ_{k+1} r_{k+1}            (one sweep, zero guess)
+//	ẽ_k     = Λ_k (r_k − A_k P e_{k+1})  (one sweep, zero guess)
+//	x      += P⁰_k ẽ_k
+//
+// and the coarsest grid contributes x += P⁰_ℓ A_ℓ⁻¹ r_ℓ. Restriction uses
+// the plain interpolants.
+func (s *Engine) AFACxCycle(x, b []float64, w *Workspace) {
+	s.AFACxCycleSweeps(x, b, w, 1, 1)
+}
+
+// AFACxCycleSweeps performs one AFACx V(s1/s2,0)-cycle: s1 smoothing sweeps
+// compute each grid's own correction and s2 sweeps compute the next-coarser
+// correction that is subtracted to prevent over-correction. The paper
+// evaluates V(1/1,0); more sweeps trade work for per-cycle convergence.
+func (s *Engine) AFACxCycleSweeps(x, b []float64, w *Workspace, s1, s2 int) {
+	if s1 < 1 || s2 < 1 {
+		panic(fmt.Sprintf("mg: AFACx sweep counts must be >= 1, got (%d/%d)", s1, s2))
+	}
+	l := s.NumLevels()
+	s.H.Levels[0].A.ResidualPar(w.r[0], b, x)
+	for k := 0; k < l-1; k++ {
+		s.PT[k].MatVecPar(w.r[k+1], w.r[k])
+	}
+	for k := 0; k < l; k++ {
+		if k == l-1 {
+			s.CoarseSolveScratch(w.e[k], w.r[k], w.tmp[k])
+		} else {
+			// s2 smoothing sweeps on the next-coarser equations from zero.
+			ec := w.tmp[k+1]
+			vec.Zero(ec)
+			s.smoothSweeps(k+1, ec, w.r[k+1], w.e[k+1], s2)
+			// Modified right-hand side: r_k − A_k P e_{k+1}. (By linearity
+			// of the stationary smoother, s1 sweeps from the initial guess
+			// P e_{k+1} equal P e_{k+1} plus s1 sweeps from zero on this
+			// modified system, so the redundant prolongations cancel.)
+			pe := w.e[k] // reuse e_k as scratch for P e_{k+1}
+			s.P[k].MatVecPar(pe, ec)
+			ak := s.H.Levels[k].A
+			mod := w.tmp[k]
+			ak.MatVecPar(mod, pe)
+			for i := range mod {
+				mod[i] = w.r[k][i] - mod[i]
+			}
+			vec.Zero(w.e[k])
+			// w.r[k] is free from here on (the restriction cascade is done
+			// and no later grid reads it), so it serves as sweep scratch —
+			// mod aliases w.tmp[k] and must not be clobbered.
+			s.smoothSweeps(k, w.e[k], mod, w.r[k], s1)
+		}
+		// Prolongate grid k's correction to the finest level (plain P).
+		cur := w.e[k]
+		for j := k - 1; j >= 0; j-- {
+			s.P[j].MatVecPar(w.tmp[j], cur)
+			cur = w.tmp[j]
+		}
+		vec.AxpyPar(1, x, cur)
+	}
+}
+
+// smoothSweeps applies `sweeps` smoothing sweeps on level k to A e = r with
+// the current contents of e as the initial guess (callers zero e for a
+// zero-guess solve). scratch must be a level-k sized buffer distinct from e
+// and r.
+func (s *Engine) smoothSweeps(k int, e, r, scratch []float64, sweeps int) {
+	s.Smo[k].Apply(e, r) // first sweep from zero guess
+	for t := 1; t < sweeps; t++ {
+		s.Smo[k].Sweep(e, r, scratch)
+	}
+}
+
+// BPXCycle performs one BPX update x ← x + Σ_k P⁰_k Λ_k (P⁰_k)ᵀ r
+// (Equation 1). As a standalone solver this over-corrects and diverges; it
+// is exposed for the ablation benchmarks and for use as a preconditioner.
+func (s *Engine) BPXCycle(x, b []float64, w *Workspace) {
+	l := s.NumLevels()
+	s.H.Levels[0].A.ResidualPar(w.r[0], b, x)
+	for k := 0; k < l-1; k++ {
+		s.PT[k].MatVecPar(w.r[k+1], w.r[k])
+	}
+	for k := 0; k < l; k++ {
+		if k == l-1 {
+			s.CoarseSolveScratch(w.e[k], w.r[k], w.tmp[k])
+		} else {
+			vec.Zero(w.e[k])
+			s.Smo[k].Apply(w.e[k], w.r[k])
+		}
+		cur := w.e[k]
+		for j := k - 1; j >= 0; j-- {
+			s.P[j].MatVecPar(w.tmp[j], cur)
+			cur = w.tmp[j]
+		}
+		vec.AxpyPar(1, x, cur)
+	}
+}
+
+// Solve runs tmax V-cycles of method m starting from x = 0 and returns the
+// final iterate together with the relative residual 2-norm history
+// (‖r‖₂/‖b‖₂ after each cycle, hist[0] being 1 before any cycle). Solve
+// stops early if the iterate becomes non-finite (divergence). The history
+// uses the serial Norm2, so it is bit-stable regardless of the parallel
+// kernel configuration.
+func (s *Engine) Solve(m Method, b []float64, tmax int) (x []float64, hist []float64) {
+	n := s.LevelSize(0)
+	x = make([]float64, n)
+	w := s.AcquireWorkspace()
+	defer s.ReleaseWorkspace(w)
+	r := make([]float64, n)
+	nb := vec.Norm2(b)
+	if nb == 0 {
+		nb = 1
+	}
+	hist = make([]float64, 1, tmax+1)
+	hist[0] = 1
+	for t := 0; t < tmax; t++ {
+		s.Cycle(m, x, b, w)
+		s.H.Levels[0].A.ResidualPar(r, b, x)
+		hist = append(hist, vec.Norm2(r)/nb)
+		if vec.HasNonFinite(x) {
+			break
+		}
+	}
+	return x, hist
+}
+
+// MultaddCycleSymmetrized performs one Multadd V-cycle with the symmetrized
+// smoother Λ_k = M̄_k⁻¹ = M⁻ᵀ(M + Mᵀ − A)M⁻¹ in place of the single-sweep
+// Λ_k = M_k⁻¹. Per Section II.B.1 of the paper (Vassilevski & Yang), this
+// additive cycle is mathematically equivalent to the symmetric
+// multiplicative V(1,1)-cycle — for the diagonal smoothers (M = Mᵀ) it
+// reproduces MultCycle exactly, bit-for-bit up to floating-point rounding.
+// Only diagonal smoothers are supported (see smoother.ApplySymmetrized).
+func (s *Engine) MultaddCycleSymmetrized(x, b []float64, w *Workspace) {
+	l := s.NumLevels()
+	s.H.Levels[0].A.ResidualPar(w.r[0], b, x)
+	for k := 0; k < l-1; k++ {
+		s.PBarT[k].MatVecPar(w.r[k+1], w.r[k])
+	}
+	for k := 0; k < l; k++ {
+		if k == l-1 {
+			s.CoarseSolveScratch(w.e[k], w.r[k], w.tmp[k])
+		} else {
+			s.Smo[k].ApplySymmetrized(w.e[k], w.r[k], w.tmp[k])
+		}
+		cur := w.e[k]
+		for j := k - 1; j >= 0; j-- {
+			s.PBar[j].MatVecPar(w.tmp[j], cur)
+			cur = w.tmp[j]
+		}
+		vec.AxpyPar(1, x, cur)
+	}
+}
+
+// MultCycleSawtooth performs one sawtooth V(0,1)-cycle: a V-cycle with no
+// pre-smoothing, as used by the "chaotic cycle" method of Hawkes et al.
+// (reference [11] of the paper), the closest prior asynchronous-multigrid
+// work. Residuals are restricted directly on the way down; corrections are
+// prolongated and post-smoothed on the way up. Exposed as a baseline for
+// comparing against the paper's fully asynchronous additive methods.
+func (s *Engine) MultCycleSawtooth(x, b []float64, w *Workspace) {
+	l := s.NumLevels()
+	s.H.Levels[0].A.ResidualPar(w.r[0], b, x)
+	for k := 0; k < l-1; k++ {
+		s.PT[k].MatVecPar(w.r[k+1], w.r[k])
+	}
+	s.CoarseSolveScratch(w.e[l-1], w.r[l-1], w.tmp[l-1])
+	for k := l - 2; k >= 0; k-- {
+		s.P[k].MatVecPar(w.e[k], w.e[k+1])
+		s.Smo[k].Sweep(w.e[k], w.r[k], w.tmp[k])
+	}
+	vec.AxpyPar(1, x, w.e[0])
+}
+
+// MultCycleSweeps performs one multiplicative V(s1,s2)-cycle: s1
+// pre-smoothing sweeps on the way down and s2 post-smoothing sweeps on the
+// way up (the paper's experiments all use V(1,1); extra sweeps trade work
+// for per-cycle convergence, the standard knob real AMG deployments tune).
+func (s *Engine) MultCycleSweeps(x, b []float64, w *Workspace, s1, s2 int) {
+	if s1 < 0 || s2 < 0 || s1+s2 == 0 {
+		panic(fmt.Sprintf("mg: V(%d,%d) needs non-negative sweep counts with at least one sweep", s1, s2))
+	}
+	l := s.NumLevels()
+	a0 := s.H.Levels[0].A
+	a0.ResidualPar(w.r[0], b, x)
+	for k := 0; k < l-1; k++ {
+		ak := s.H.Levels[k].A
+		vec.Zero(w.e[k])
+		if s1 > 0 {
+			s.smoothSweeps(k, w.e[k], w.r[k], w.tmp[k], s1)
+		}
+		sparse.FusedResidualRestrict(ak, s.P[k], s.PT[k], w.r[k+1], w.r[k], w.e[k], w.tmp[k])
+	}
+	s.CoarseSolveScratch(w.e[l-1], w.r[l-1], w.tmp[l-1])
+	for k := l - 2; k >= 0; k-- {
+		s.P[k].MatVecAddPar(w.e[k], w.e[k+1])
+		for t := 0; t < s2; t++ {
+			s.Smo[k].Sweep(w.e[k], w.r[k], w.tmp[k])
+		}
+	}
+	vec.AxpyPar(1, x, w.e[0])
+}
+
+// ConvergenceFactor estimates the asymptotic convergence factor ρ of one
+// V-cycle of the chosen method by power iteration on the homogeneous
+// problem: starting from a random error vector, it applies `iters` cycles
+// to A x = 0 and reports the geometric-mean error reduction per cycle over
+// the second half of the run (the first half burns in the dominant error
+// mode). A factor below 1 means the method converges as a solver; BPX's
+// factor exceeds 1 — the over-correction the paper describes — while
+// Multadd's and AFACx's stay below 1.
+func (s *Engine) ConvergenceFactor(m Method, iters int, seed int64) float64 {
+	if iters < 4 {
+		iters = 4
+	}
+	n := s.LevelSize(0)
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b := make([]float64, n)
+	w := s.AcquireWorkspace()
+	defer s.ReleaseWorkspace(w)
+	// Burn-in: expose the dominant mode.
+	half := iters / 2
+	for t := 0; t < half; t++ {
+		s.Cycle(m, x, b, w)
+		// Renormalize to avoid under/overflow during long runs.
+		if nrm := vec.Norm2(x); nrm > 0 && (nrm > 1e100 || nrm < 1e-100) {
+			vec.Scale(1/nrm, x)
+		}
+	}
+	start := vec.Norm2(x)
+	if start == 0 {
+		return 0
+	}
+	for t := half; t < iters; t++ {
+		s.Cycle(m, x, b, w)
+	}
+	end := vec.Norm2(x)
+	if end == 0 {
+		return 0
+	}
+	return math.Pow(end/start, 1/float64(iters-half))
+}

@@ -1,0 +1,241 @@
+// Package engine is the shared multigrid cycle engine: it owns the
+// hierarchy view (the AMG levels plus every matrix-derived operator the
+// solvers need — transposes, smoothed interpolants, cached diagonals and
+// row norms), pooled per-level workspaces, and the single implementation
+// of the per-grid correction math that the synchronous solvers (package
+// mg), the goroutine-team asynchronous runtime (package async), the
+// sequential §III models (package model), the Krylov preconditioners
+// (package krylov) and the distributed-memory simulation (package
+// distmem) all consume.
+//
+// Hot paths are allocation-free in the steady state: workspaces are
+// recycled through sync.Pools, the coarse LU solve uses caller-provided
+// scratch, and the sparse/vec kernels dispatch onto the persistent
+// worker pool of package par.
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"asyncmg/internal/amg"
+	"asyncmg/internal/smoother"
+	"asyncmg/internal/sparse"
+	"asyncmg/internal/vec"
+)
+
+// Method selects a multigrid algorithm.
+type Method int
+
+const (
+	// Mult is the classical multiplicative V(1,1)-cycle.
+	Mult Method = iota
+	// Multadd is the additive variant of Mult (Equation 2).
+	Multadd
+	// AFACx is the asynchronous fast adaptive composite grid method with
+	// smoothing and full refinement.
+	AFACx
+	// BPX is the Bramble-Pasciak-Xu additive method (Equation 1); it
+	// over-corrects and diverges as a solver, and is included as the
+	// baseline that motivates the convergent additive methods.
+	BPX
+)
+
+func (m Method) String() string {
+	switch m {
+	case Mult:
+		return "mult"
+	case Multadd:
+		return "multadd"
+	case AFACx:
+		return "afacx"
+	case BPX:
+		return "bpx"
+	}
+	return "unknown"
+}
+
+// Engine bundles everything the cycles need: the AMG hierarchy,
+// per-level smoothers, the smoothed interpolants of Multadd with their
+// transposes, and the cached per-level diagonals/row norms that smoother
+// construction and interpolant scaling share.
+type Engine struct {
+	H *amg.Hierarchy
+	// Smo[k] smooths on level k. The coarsest level also has a smoother
+	// (AFACx smooths there; Mult/Multadd use the exact solve when
+	// available).
+	Smo []*smoother.S
+	// P[k] prolongates level k+1 -> k (plain interpolants); PT[k] is its
+	// transpose. len == levels-1.
+	P, PT []*sparse.CSR
+	// PBar[k] = (I − diag(s_k) A_k) P[k] are Multadd's smoothed two-level
+	// interpolants; PBarT[k] their transposes.
+	PBar, PBarT []*sparse.CSR
+	// Cfg is the smoother configuration used on every level.
+	Cfg smoother.Config
+
+	// diag[k] caches A_k's diagonal; rowL1[k] its row ℓ1 norms (only
+	// populated when the smoother kind needs them). Both are shared with
+	// every smoother built through NewLevelSmoother, so repeated smoother
+	// construction (one per async team, per level) never rescans a matrix.
+	diag, rowL1 [][]float64
+
+	wsPool, corrPool sync.Pool
+}
+
+// New builds the hierarchy for a and all solver operators.
+func New(a *sparse.CSR, amgOpt amg.Options, smoCfg smoother.Config) (*Engine, error) {
+	h, err := amg.Build(a, amgOpt)
+	if err != nil {
+		return nil, err
+	}
+	return NewFromHierarchy(h, smoCfg)
+}
+
+// NewFromHierarchy builds solver operators on an existing hierarchy.
+func NewFromHierarchy(h *amg.Hierarchy, smoCfg smoother.Config) (*Engine, error) {
+	l := h.NumLevels()
+	s := &Engine{H: h, Cfg: smoCfg}
+	// Cache the matrix-derived vectors once per level; smoother
+	// construction and interpolant scaling below both read them.
+	s.diag = make([][]float64, l)
+	s.rowL1 = make([][]float64, l)
+	for k := 0; k < l; k++ {
+		s.diag[k] = h.Levels[k].A.Diag()
+		if smoCfg.Kind == smoother.L1Jacobi {
+			s.rowL1[k] = h.Levels[k].A.RowL1Norms()
+		}
+	}
+	s.Smo = make([]*smoother.S, l)
+	for k := 0; k < l; k++ {
+		sm, err := smoother.NewWith(h.Levels[k].A, smoCfg, s.Pre(k))
+		if err != nil {
+			return nil, fmt.Errorf("mg: level %d smoother: %w", k, err)
+		}
+		s.Smo[k] = sm
+	}
+	s.P = make([]*sparse.CSR, l-1)
+	s.PT = make([]*sparse.CSR, l-1)
+	s.PBar = make([]*sparse.CSR, l-1)
+	s.PBarT = make([]*sparse.CSR, l-1)
+	for k := 0; k < l-1; k++ {
+		p := h.Levels[k].P
+		s.P[k] = p
+		s.PT[k] = p.Transpose()
+		scale, err := smoother.InterpolantScalingWith(h.Levels[k].A, smoCfg, s.Pre(k))
+		if err != nil {
+			return nil, fmt.Errorf("mg: level %d interpolant scaling: %w", k, err)
+		}
+		// P̄ = P − diag(scale)·A·P, computed as a sparse product then a
+		// row-scaled subtraction.
+		ap := sparse.MatMul(h.Levels[k].A, p)
+		ap.ScaleRows(scale)
+		pbar := sparse.Sub(p, ap)
+		s.PBar[k] = pbar
+		s.PBarT[k] = pbar.Transpose()
+	}
+	return s, nil
+}
+
+// NumLevels returns the hierarchy depth.
+func (s *Engine) NumLevels() int { return s.H.NumLevels() }
+
+// LevelSize returns the number of rows on level k.
+func (s *Engine) LevelSize(k int) int { return s.H.Levels[k].A.Rows }
+
+// Pre returns the cached matrix-derived vectors of level k for smoother
+// construction. Zero-valued (forcing recomputation) when the engine was
+// built without the constructors.
+func (s *Engine) Pre(k int) smoother.Precomputed {
+	pre := smoother.Precomputed{}
+	if k < len(s.diag) {
+		pre.Diag = s.diag[k]
+	}
+	if k < len(s.rowL1) {
+		pre.RowL1 = s.rowL1[k]
+	}
+	return pre
+}
+
+// NewLevelSmoother builds a level-k smoother with the engine's
+// configuration and the given block count (team runtimes use one block
+// per thread), sourcing the diagonal/row-norm vectors from the cached
+// hierarchy view.
+func (s *Engine) NewLevelSmoother(k, blocks int) (*smoother.S, error) {
+	cfg := s.Cfg
+	cfg.Blocks = blocks
+	return smoother.NewWith(s.H.Levels[k].A, cfg, s.Pre(k))
+}
+
+// Workspace holds the per-level scratch vectors of one cycle execution.
+// A Workspace must not be shared between concurrent cycles.
+type Workspace struct {
+	r, e, tmp [][]float64
+}
+
+// NewWorkspace allocates scratch for the engine's hierarchy. Prefer
+// AcquireWorkspace/ReleaseWorkspace, which recycle workspaces through a
+// pool.
+func (s *Engine) NewWorkspace() *Workspace {
+	l := s.NumLevels()
+	w := &Workspace{
+		r:   make([][]float64, l),
+		e:   make([][]float64, l),
+		tmp: make([][]float64, l),
+	}
+	for k := 0; k < l; k++ {
+		n := s.LevelSize(k)
+		w.r[k] = make([]float64, n)
+		w.e[k] = make([]float64, n)
+		w.tmp[k] = make([]float64, n)
+	}
+	return w
+}
+
+// AcquireWorkspace returns a pooled cycle workspace; pair with
+// ReleaseWorkspace. Contents are unspecified (every cycle fully
+// overwrites what it reads).
+func (s *Engine) AcquireWorkspace() *Workspace {
+	if w, _ := s.wsPool.Get().(*Workspace); w != nil {
+		return w
+	}
+	return s.NewWorkspace()
+}
+
+// ReleaseWorkspace returns w to the pool for reuse.
+func (s *Engine) ReleaseWorkspace(w *Workspace) { s.wsPool.Put(w) }
+
+// AcquireCorrWorkspace returns a pooled grid-correction workspace; pair
+// with ReleaseCorrWorkspace.
+func (s *Engine) AcquireCorrWorkspace() *CorrWorkspace {
+	if w, _ := s.corrPool.Get().(*CorrWorkspace); w != nil {
+		return w
+	}
+	return s.NewCorrWorkspace()
+}
+
+// ReleaseCorrWorkspace returns w to the pool for reuse.
+func (s *Engine) ReleaseCorrWorkspace(w *CorrWorkspace) { s.corrPool.Put(w) }
+
+// CoarseSolve computes e = A_L⁻¹ r on the coarsest level, falling back
+// to a single smoothing sweep if the LU factorization is unavailable.
+func (s *Engine) CoarseSolve(e, r []float64) {
+	if s.H.Coarse != nil {
+		s.H.Coarse.Solve(e, r)
+		return
+	}
+	vec.Zero(e)
+	s.Smo[s.NumLevels()-1].Apply(e, r)
+}
+
+// CoarseSolveScratch is CoarseSolve with caller-provided scratch
+// (len >= the coarsest level size, clobbered), for allocation-free
+// repeated solves.
+func (s *Engine) CoarseSolveScratch(e, r, scratch []float64) {
+	if s.H.Coarse != nil {
+		s.H.Coarse.SolveScratch(e, r, scratch)
+		return
+	}
+	vec.Zero(e)
+	s.Smo[s.NumLevels()-1].Apply(e, r)
+}

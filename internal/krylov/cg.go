@@ -46,9 +46,20 @@ type MGPreconditioner struct {
 	ws          *mg.Workspace
 }
 
-// NewMGPreconditioner builds a one-cycle multigrid preconditioner.
+// NewMGPreconditioner builds a one-cycle multigrid preconditioner. The
+// cycle workspace comes from the setup's pool, so building (and
+// discarding) preconditioners on one setup reuses scratch.
 func NewMGPreconditioner(s *mg.Setup, method mg.Method) *MGPreconditioner {
-	return &MGPreconditioner{Setup: s, Method: method, ws: s.NewWorkspace()}
+	return &MGPreconditioner{Setup: s, Method: method, ws: s.AcquireWorkspace()}
+}
+
+// Release returns the preconditioner's cycle workspace to the setup's
+// pool. The preconditioner must not be used afterwards.
+func (p *MGPreconditioner) Release() {
+	if p.ws != nil {
+		p.Setup.ReleaseWorkspace(p.ws)
+		p.ws = nil
+	}
 }
 
 // Precondition runs one cycle on A z = r from z = 0.
@@ -116,17 +127,21 @@ func Solve(a *sparse.CSR, b []float64, opt Options) (*Result, error) {
 		return &Result{X: x, RelRes: 0, History: []float64{0}, Converged: true}, nil
 	}
 	res := &Result{History: []float64{1}}
-	rz := vec.Dot(r, z)
+	// The CG loop runs on the sharded kernels: the SpMV and axpys are
+	// bitwise-identical to their serial forms, the reductions combine
+	// shard partials in shard order (rounding-level difference on large
+	// systems).
+	rz := vec.DotPar(r, z)
 	for it := 0; it < opt.MaxIter; it++ {
-		a.MatVec(ap, p)
-		pap := vec.Dot(p, ap)
+		a.MatVecPar(ap, p)
+		pap := vec.DotPar(p, ap)
 		if pap <= 0 || math.IsNaN(pap) {
 			return nil, ErrBreakdown
 		}
 		alpha := rz / pap
-		vec.Axpy(alpha, x, p)
-		vec.Axpy(-alpha, r, ap)
-		rel := vec.Norm2(r) / nb
+		vec.AxpyPar(alpha, x, p)
+		vec.AxpyPar(-alpha, r, ap)
+		rel := vec.Norm2Par(r) / nb
 		res.History = append(res.History, rel)
 		res.Iterations = it + 1
 		if rel < opt.Tol {
@@ -136,7 +151,7 @@ func Solve(a *sparse.CSR, b []float64, opt Options) (*Result, error) {
 			return res, nil
 		}
 		m.Precondition(z, r)
-		rzNew := vec.Dot(r, z)
+		rzNew := vec.DotPar(r, z)
 		if math.IsNaN(rzNew) {
 			return nil, ErrBreakdown
 		}

@@ -9,552 +9,58 @@
 //   - BPX: the classical additive preconditioner (Equation 1), kept as the
 //     over-correcting reference that motivates Multadd/AFACx.
 //
-// The asynchronous shared-memory implementations live in package async and
-// the sequential asynchronous *models* (Section III) in package model; both
-// consume the Setup built here.
+// The cycle implementations live in package engine — the shared
+// zero-allocation cycle engine that the asynchronous runtime (package
+// async), the sequential asynchronous *models* (package model), the
+// Krylov preconditioners and the distributed-memory simulation all
+// consume. This package re-exports the engine types under their
+// historical names, so mg.Setup remains the one handle every solver
+// takes.
 package mg
 
 import (
-	"fmt"
-	"math"
-	"math/rand"
-
 	"asyncmg/internal/amg"
+	"asyncmg/internal/engine"
 	"asyncmg/internal/smoother"
 	"asyncmg/internal/sparse"
-	"asyncmg/internal/vec"
 )
 
 // Method selects a multigrid algorithm.
-type Method int
+type Method = engine.Method
 
+// The multigrid methods.
 const (
 	// Mult is the classical multiplicative V(1,1)-cycle.
-	Mult Method = iota
+	Mult = engine.Mult
 	// Multadd is the additive variant of Mult (Equation 2).
-	Multadd
+	Multadd = engine.Multadd
 	// AFACx is the asynchronous fast adaptive composite grid method with
 	// smoothing and full refinement.
-	AFACx
+	AFACx = engine.AFACx
 	// BPX is the Bramble-Pasciak-Xu additive method (Equation 1); it
 	// over-corrects and diverges as a solver, and is included as the
 	// baseline that motivates the convergent additive methods.
-	BPX
+	BPX = engine.BPX
 )
-
-func (m Method) String() string {
-	switch m {
-	case Mult:
-		return "mult"
-	case Multadd:
-		return "multadd"
-	case AFACx:
-		return "afacx"
-	case BPX:
-		return "bpx"
-	}
-	return "unknown"
-}
 
 // Setup bundles everything the cycles need: the AMG hierarchy, per-level
 // smoothers, and the smoothed interpolants of Multadd with their
-// transposes.
-type Setup struct {
-	H *amg.Hierarchy
-	// Smo[k] smooths on level k. The coarsest level also has a smoother
-	// (AFACx smooths there; Mult/Multadd use the exact solve when
-	// available).
-	Smo []*smoother.S
-	// P[k] prolongates level k+1 -> k (plain interpolants); PT[k] is its
-	// transpose. len == levels-1.
-	P, PT []*sparse.CSR
-	// PBar[k] = (I − diag(s_k) A_k) P[k] are Multadd's smoothed two-level
-	// interpolants; PBarT[k] their transposes.
-	PBar, PBarT []*sparse.CSR
-	// Cfg is the smoother configuration used on every level.
-	Cfg smoother.Config
-}
+// transposes. It is the engine type under its historical name.
+type Setup = engine.Engine
+
+// Workspace holds the per-level scratch vectors of one cycle execution.
+type Workspace = engine.Workspace
+
+// CorrWorkspace holds the per-level scratch for single-grid correction
+// evaluations (GridCorrection).
+type CorrWorkspace = engine.CorrWorkspace
 
 // NewSetup builds the hierarchy for a and all solver operators.
 func NewSetup(a *sparse.CSR, amgOpt amg.Options, smoCfg smoother.Config) (*Setup, error) {
-	h, err := amg.Build(a, amgOpt)
-	if err != nil {
-		return nil, err
-	}
-	return NewSetupFromHierarchy(h, smoCfg)
+	return engine.New(a, amgOpt, smoCfg)
 }
 
 // NewSetupFromHierarchy builds solver operators on an existing hierarchy.
 func NewSetupFromHierarchy(h *amg.Hierarchy, smoCfg smoother.Config) (*Setup, error) {
-	l := h.NumLevels()
-	s := &Setup{H: h, Cfg: smoCfg}
-	s.Smo = make([]*smoother.S, l)
-	for k := 0; k < l; k++ {
-		sm, err := smoother.New(h.Levels[k].A, smoCfg)
-		if err != nil {
-			return nil, fmt.Errorf("mg: level %d smoother: %w", k, err)
-		}
-		s.Smo[k] = sm
-	}
-	s.P = make([]*sparse.CSR, l-1)
-	s.PT = make([]*sparse.CSR, l-1)
-	s.PBar = make([]*sparse.CSR, l-1)
-	s.PBarT = make([]*sparse.CSR, l-1)
-	for k := 0; k < l-1; k++ {
-		p := h.Levels[k].P
-		s.P[k] = p
-		s.PT[k] = p.Transpose()
-		scale, err := smoother.InterpolantScaling(h.Levels[k].A, smoCfg)
-		if err != nil {
-			return nil, fmt.Errorf("mg: level %d interpolant scaling: %w", k, err)
-		}
-		// P̄ = P − diag(scale)·A·P, computed as a sparse product then a
-		// row-scaled subtraction.
-		ap := sparse.MatMul(h.Levels[k].A, p)
-		ap.ScaleRows(scale)
-		pbar := sparse.Sub(p, ap)
-		s.PBar[k] = pbar
-		s.PBarT[k] = pbar.Transpose()
-	}
-	return s, nil
-}
-
-// NumLevels returns the hierarchy depth.
-func (s *Setup) NumLevels() int { return s.H.NumLevels() }
-
-// LevelSize returns the number of rows on level k.
-func (s *Setup) LevelSize(k int) int { return s.H.Levels[k].A.Rows }
-
-// Workspace holds the per-level scratch vectors of one cycle execution.
-// A Workspace must not be shared between concurrent cycles.
-type Workspace struct {
-	r, e, tmp [][]float64
-}
-
-// NewWorkspace allocates scratch for the setup's hierarchy.
-func (s *Setup) NewWorkspace() *Workspace {
-	l := s.NumLevels()
-	w := &Workspace{
-		r:   make([][]float64, l),
-		e:   make([][]float64, l),
-		tmp: make([][]float64, l),
-	}
-	for k := 0; k < l; k++ {
-		n := s.LevelSize(k)
-		w.r[k] = make([]float64, n)
-		w.e[k] = make([]float64, n)
-		w.tmp[k] = make([]float64, n)
-	}
-	return w
-}
-
-// CoarseSolve computes e = A_L⁻¹ r on the coarsest level, falling back to a
-// single smoothing sweep if the LU factorization is unavailable.
-func (s *Setup) CoarseSolve(e, r []float64) {
-	if s.H.Coarse != nil {
-		s.H.Coarse.Solve(e, r)
-		return
-	}
-	vec.Zero(e)
-	s.Smo[s.NumLevels()-1].Apply(e, r)
-}
-
-// Cycle runs one V-cycle of the chosen method, updating x in place.
-func (s *Setup) Cycle(m Method, x, b []float64, w *Workspace) {
-	switch m {
-	case Mult:
-		s.MultCycle(x, b, w)
-	case Multadd:
-		s.MultaddCycle(x, b, w)
-	case AFACx:
-		s.AFACxCycle(x, b, w)
-	case BPX:
-		s.BPXCycle(x, b, w)
-	default:
-		panic(fmt.Sprintf("mg: unknown method %d", m))
-	}
-}
-
-// MultCycle performs one classical multiplicative V(1,1)-cycle
-// (Algorithm 1): pre-smooth and restrict down the hierarchy, exact-solve on
-// the coarsest grid, prolong and post-smooth back up, then correct x.
-func (s *Setup) MultCycle(x, b []float64, w *Workspace) {
-	l := s.NumLevels()
-	a0 := s.H.Levels[0].A
-	a0.Residual(w.r[0], b, x)
-	// Downward sweep.
-	for k := 0; k < l-1; k++ {
-		ak := s.H.Levels[k].A
-		vec.Zero(w.e[k])
-		s.Smo[k].Apply(w.e[k], w.r[k]) // pre-smoothing from zero guess
-		// r_{k+1} = Pᵀ (r_k − A_k e_k)
-		ak.Residual(w.tmp[k], w.r[k], w.e[k])
-		s.PT[k].MatVec(w.r[k+1], w.tmp[k])
-	}
-	// Coarsest solve.
-	s.CoarseSolve(w.e[l-1], w.r[l-1])
-	// Upward sweep.
-	for k := l - 2; k >= 0; k-- {
-		// e_k += P e_{k+1}
-		s.P[k].MatVecAdd(w.e[k], w.e[k+1])
-		// e_k += Λ_k (r_k − A_k e_k): post-smoothing.
-		s.Smo[k].Sweep(w.e[k], w.r[k], w.tmp[k])
-	}
-	vec.Axpy(1, x, w.e[0])
-}
-
-// MultaddCycle performs one additive Multadd V-cycle (Equation 2):
-//
-//	x ← x + Σ_k P̄⁰_k Λ_k (P̄⁰_k)ᵀ r,  Λ_ℓ = A_ℓ⁻¹.
-//
-// The multilevel smoothed interpolants are applied factor by factor; the
-// restricted residuals cascade down once and each grid's correction is
-// prolongated back up and added into x.
-func (s *Setup) MultaddCycle(x, b []float64, w *Workspace) {
-	l := s.NumLevels()
-	s.H.Levels[0].A.Residual(w.r[0], b, x)
-	// Cascade restrictions with the smoothed interpolants.
-	for k := 0; k < l-1; k++ {
-		s.PBarT[k].MatVec(w.r[k+1], w.r[k])
-	}
-	for k := 0; k < l; k++ {
-		// Grid k's correction at its own level.
-		if k == l-1 {
-			s.CoarseSolve(w.e[k], w.r[k])
-		} else {
-			vec.Zero(w.e[k])
-			s.Smo[k].Apply(w.e[k], w.r[k])
-		}
-		// Prolongate to the finest level through the smoothed chain.
-		cur := w.e[k]
-		for j := k - 1; j >= 0; j-- {
-			s.PBar[j].MatVec(w.tmp[j], cur)
-			cur = w.tmp[j]
-		}
-		vec.Axpy(1, x, cur)
-	}
-}
-
-// AFACxCycle performs one AFACx V(1/1,0)-cycle (Algorithm 2). For each grid
-// k < ℓ the correction is computed with the modified right-hand side so the
-// redundant prolongations cancel:
-//
-//	e_{k+1} = Λ_{k+1} r_{k+1}            (one sweep, zero guess)
-//	ẽ_k     = Λ_k (r_k − A_k P e_{k+1})  (one sweep, zero guess)
-//	x      += P⁰_k ẽ_k
-//
-// and the coarsest grid contributes x += P⁰_ℓ A_ℓ⁻¹ r_ℓ. Restriction uses
-// the plain interpolants.
-func (s *Setup) AFACxCycle(x, b []float64, w *Workspace) {
-	s.AFACxCycleSweeps(x, b, w, 1, 1)
-}
-
-// AFACxCycleSweeps performs one AFACx V(s1/s2,0)-cycle: s1 smoothing sweeps
-// compute each grid's own correction and s2 sweeps compute the next-coarser
-// correction that is subtracted to prevent over-correction. The paper
-// evaluates V(1/1,0); more sweeps trade work for per-cycle convergence.
-func (s *Setup) AFACxCycleSweeps(x, b []float64, w *Workspace, s1, s2 int) {
-	if s1 < 1 || s2 < 1 {
-		panic(fmt.Sprintf("mg: AFACx sweep counts must be >= 1, got (%d/%d)", s1, s2))
-	}
-	l := s.NumLevels()
-	s.H.Levels[0].A.Residual(w.r[0], b, x)
-	for k := 0; k < l-1; k++ {
-		s.PT[k].MatVec(w.r[k+1], w.r[k])
-	}
-	for k := 0; k < l; k++ {
-		if k == l-1 {
-			s.CoarseSolve(w.e[k], w.r[k])
-		} else {
-			// s2 smoothing sweeps on the next-coarser equations from zero.
-			ec := w.tmp[k+1]
-			vec.Zero(ec)
-			s.smoothSweeps(k+1, ec, w.r[k+1], w.e[k+1], s2)
-			// Modified right-hand side: r_k − A_k P e_{k+1}. (By linearity
-			// of the stationary smoother, s1 sweeps from the initial guess
-			// P e_{k+1} equal P e_{k+1} plus s1 sweeps from zero on this
-			// modified system, so the redundant prolongations cancel.)
-			pe := w.e[k] // reuse e_k as scratch for P e_{k+1}
-			s.P[k].MatVec(pe, ec)
-			ak := s.H.Levels[k].A
-			mod := w.tmp[k]
-			ak.MatVec(mod, pe)
-			for i := range mod {
-				mod[i] = w.r[k][i] - mod[i]
-			}
-			vec.Zero(w.e[k])
-			// w.r[k] is free from here on (the restriction cascade is done
-			// and no later grid reads it), so it serves as sweep scratch —
-			// mod aliases w.tmp[k] and must not be clobbered.
-			s.smoothSweeps(k, w.e[k], mod, w.r[k], s1)
-		}
-		// Prolongate grid k's correction to the finest level (plain P).
-		cur := w.e[k]
-		for j := k - 1; j >= 0; j-- {
-			s.P[j].MatVec(w.tmp[j], cur)
-			cur = w.tmp[j]
-		}
-		vec.Axpy(1, x, cur)
-	}
-}
-
-// smoothSweeps applies `sweeps` smoothing sweeps on level k to A e = r with
-// the current contents of e as the initial guess (callers zero e for a
-// zero-guess solve). scratch must be a level-k sized buffer distinct from e
-// and r.
-func (s *Setup) smoothSweeps(k int, e, r, scratch []float64, sweeps int) {
-	s.Smo[k].Apply(e, r) // first sweep from zero guess
-	for t := 1; t < sweeps; t++ {
-		s.Smo[k].Sweep(e, r, scratch)
-	}
-}
-
-// BPXCycle performs one BPX update x ← x + Σ_k P⁰_k Λ_k (P⁰_k)ᵀ r
-// (Equation 1). As a standalone solver this over-corrects and diverges; it
-// is exposed for the ablation benchmarks and for use as a preconditioner.
-func (s *Setup) BPXCycle(x, b []float64, w *Workspace) {
-	l := s.NumLevels()
-	s.H.Levels[0].A.Residual(w.r[0], b, x)
-	for k := 0; k < l-1; k++ {
-		s.PT[k].MatVec(w.r[k+1], w.r[k])
-	}
-	for k := 0; k < l; k++ {
-		if k == l-1 {
-			s.CoarseSolve(w.e[k], w.r[k])
-		} else {
-			vec.Zero(w.e[k])
-			s.Smo[k].Apply(w.e[k], w.r[k])
-		}
-		cur := w.e[k]
-		for j := k - 1; j >= 0; j-- {
-			s.P[j].MatVec(w.tmp[j], cur)
-			cur = w.tmp[j]
-		}
-		vec.Axpy(1, x, cur)
-	}
-}
-
-// Solve runs tmax V-cycles of method m starting from x = 0 and returns the
-// final iterate together with the relative residual 2-norm history
-// (‖r‖₂/‖b‖₂ after each cycle, hist[0] being 1 before any cycle). Solve
-// stops early if the iterate becomes non-finite (divergence).
-func (s *Setup) Solve(m Method, b []float64, tmax int) (x []float64, hist []float64) {
-	n := s.LevelSize(0)
-	x = make([]float64, n)
-	w := s.NewWorkspace()
-	r := make([]float64, n)
-	nb := vec.Norm2(b)
-	if nb == 0 {
-		nb = 1
-	}
-	hist = append(hist, 1)
-	for t := 0; t < tmax; t++ {
-		s.Cycle(m, x, b, w)
-		s.H.Levels[0].A.Residual(r, b, x)
-		hist = append(hist, vec.Norm2(r)/nb)
-		if vec.HasNonFinite(x) {
-			break
-		}
-	}
-	return x, hist
-}
-
-// MultaddCycleSymmetrized performs one Multadd V-cycle with the symmetrized
-// smoother Λ_k = M̄_k⁻¹ = M⁻ᵀ(M + Mᵀ − A)M⁻¹ in place of the single-sweep
-// Λ_k = M_k⁻¹. Per Section II.B.1 of the paper (Vassilevski & Yang), this
-// additive cycle is mathematically equivalent to the symmetric
-// multiplicative V(1,1)-cycle — for the diagonal smoothers (M = Mᵀ) it
-// reproduces MultCycle exactly, bit-for-bit up to floating-point rounding.
-// Only diagonal smoothers are supported (see smoother.ApplySymmetrized).
-func (s *Setup) MultaddCycleSymmetrized(x, b []float64, w *Workspace) {
-	l := s.NumLevels()
-	s.H.Levels[0].A.Residual(w.r[0], b, x)
-	for k := 0; k < l-1; k++ {
-		s.PBarT[k].MatVec(w.r[k+1], w.r[k])
-	}
-	for k := 0; k < l; k++ {
-		if k == l-1 {
-			s.CoarseSolve(w.e[k], w.r[k])
-		} else {
-			s.Smo[k].ApplySymmetrized(w.e[k], w.r[k], w.tmp[k])
-		}
-		cur := w.e[k]
-		for j := k - 1; j >= 0; j-- {
-			s.PBar[j].MatVec(w.tmp[j], cur)
-			cur = w.tmp[j]
-		}
-		vec.Axpy(1, x, cur)
-	}
-}
-
-// CorrWorkspace holds the per-level scratch for single-grid correction
-// evaluations (GridCorrection). Not safe for concurrent use.
-type CorrWorkspace struct {
-	lvl, lvl2 [][]float64
-	pe, mod   []float64
-}
-
-// NewCorrWorkspace allocates scratch for GridCorrection calls.
-func (s *Setup) NewCorrWorkspace() *CorrWorkspace {
-	l := s.NumLevels()
-	w := &CorrWorkspace{lvl: make([][]float64, l), lvl2: make([][]float64, l)}
-	maxN := 0
-	for k := 0; k < l; k++ {
-		n := s.LevelSize(k)
-		w.lvl[k] = make([]float64, n)
-		w.lvl2[k] = make([]float64, n)
-		if n > maxN {
-			maxN = n
-		}
-	}
-	w.pe = make([]float64, maxN)
-	w.mod = make([]float64, maxN)
-	return w
-}
-
-// GridCorrection computes grid k's additive correction at the finest level
-// from the fine-grid residual rfine, writing it into out: the B_k/C_k
-// operator of the Section III models, and the unit of work one grid process
-// performs in a distributed-memory implementation. method must be Multadd
-// or AFACx.
-func (s *Setup) GridCorrection(method Method, k int, out, rfine []float64, w *CorrWorkspace) {
-	l := s.NumLevels()
-	var chain, chainT []*sparse.CSR
-	switch method {
-	case Multadd:
-		chain, chainT = s.PBar, s.PBarT
-	case AFACx:
-		chain, chainT = s.P, s.PT
-	default:
-		panic(fmt.Sprintf("mg: GridCorrection does not support method %v", method))
-	}
-	// Restrict the fine residual to level k.
-	cur := rfine
-	for j := 0; j < k; j++ {
-		chainT[j].MatVec(w.lvl[j+1], cur)
-		cur = w.lvl[j+1]
-	}
-	e := w.lvl2[k]
-	vec.Zero(e)
-	switch {
-	case k == l-1:
-		s.CoarseSolve(e, cur)
-	case method == Multadd:
-		s.Smo[k].Apply(e, cur)
-	default: // AFACx V(1/1,0) with the modified right-hand side
-		rkp1 := w.lvl[k+1]
-		s.PT[k].MatVec(rkp1, cur)
-		ec := w.lvl2[k+1]
-		vec.Zero(ec)
-		s.Smo[k+1].Apply(ec, rkp1)
-		nk := s.LevelSize(k)
-		pe := w.pe[:nk]
-		s.P[k].MatVec(pe, ec)
-		mod := w.mod[:nk]
-		s.H.Levels[k].A.MatVec(mod, pe)
-		for i := range mod {
-			mod[i] = cur[i] - mod[i]
-		}
-		s.Smo[k].Apply(e, mod)
-	}
-	// Prolongate back to the finest level.
-	res := e
-	for j := k - 1; j >= 0; j-- {
-		chain[j].MatVec(w.lvl2[j], res)
-		res = w.lvl2[j]
-	}
-	copy(out, res)
-}
-
-// MultCycleSawtooth performs one sawtooth V(0,1)-cycle: a V-cycle with no
-// pre-smoothing, as used by the "chaotic cycle" method of Hawkes et al.
-// (reference [11] of the paper), the closest prior asynchronous-multigrid
-// work. Residuals are restricted directly on the way down; corrections are
-// prolongated and post-smoothed on the way up. Exposed as a baseline for
-// comparing against the paper's fully asynchronous additive methods.
-func (s *Setup) MultCycleSawtooth(x, b []float64, w *Workspace) {
-	l := s.NumLevels()
-	s.H.Levels[0].A.Residual(w.r[0], b, x)
-	for k := 0; k < l-1; k++ {
-		s.PT[k].MatVec(w.r[k+1], w.r[k])
-	}
-	s.CoarseSolve(w.e[l-1], w.r[l-1])
-	for k := l - 2; k >= 0; k-- {
-		s.P[k].MatVec(w.e[k], w.e[k+1])
-		s.Smo[k].Sweep(w.e[k], w.r[k], w.tmp[k])
-	}
-	vec.Axpy(1, x, w.e[0])
-}
-
-// ConvergenceFactor estimates the asymptotic convergence factor ρ of one
-// V-cycle of the chosen method by power iteration on the homogeneous
-// problem: starting from a random error vector, it applies `iters` cycles
-// to A x = 0 and reports the geometric-mean error reduction per cycle over
-// the second half of the run (the first half burns in the dominant error
-// mode). A factor below 1 means the method converges as a solver; BPX's
-// factor exceeds 1 — the over-correction the paper describes — while
-// Multadd's and AFACx's stay below 1.
-func (s *Setup) ConvergenceFactor(m Method, iters int, seed int64) float64 {
-	if iters < 4 {
-		iters = 4
-	}
-	n := s.LevelSize(0)
-	rng := rand.New(rand.NewSource(seed))
-	x := make([]float64, n)
-	for i := range x {
-		x[i] = rng.NormFloat64()
-	}
-	b := make([]float64, n)
-	w := s.NewWorkspace()
-	// Burn-in: expose the dominant mode.
-	half := iters / 2
-	for t := 0; t < half; t++ {
-		s.Cycle(m, x, b, w)
-		// Renormalize to avoid under/overflow during long runs.
-		if nrm := vec.Norm2(x); nrm > 0 && (nrm > 1e100 || nrm < 1e-100) {
-			vec.Scale(1/nrm, x)
-		}
-	}
-	start := vec.Norm2(x)
-	if start == 0 {
-		return 0
-	}
-	for t := half; t < iters; t++ {
-		s.Cycle(m, x, b, w)
-	}
-	end := vec.Norm2(x)
-	if end == 0 {
-		return 0
-	}
-	return math.Pow(end/start, 1/float64(iters-half))
-}
-
-// MultCycleSweeps performs one multiplicative V(s1,s2)-cycle: s1
-// pre-smoothing sweeps on the way down and s2 post-smoothing sweeps on the
-// way up (the paper's experiments all use V(1,1); extra sweeps trade work
-// for per-cycle convergence, the standard knob real AMG deployments tune).
-func (s *Setup) MultCycleSweeps(x, b []float64, w *Workspace, s1, s2 int) {
-	if s1 < 0 || s2 < 0 || s1+s2 == 0 {
-		panic(fmt.Sprintf("mg: V(%d,%d) needs non-negative sweep counts with at least one sweep", s1, s2))
-	}
-	l := s.NumLevels()
-	a0 := s.H.Levels[0].A
-	a0.Residual(w.r[0], b, x)
-	for k := 0; k < l-1; k++ {
-		ak := s.H.Levels[k].A
-		vec.Zero(w.e[k])
-		if s1 > 0 {
-			s.smoothSweeps(k, w.e[k], w.r[k], w.tmp[k], s1)
-		}
-		ak.Residual(w.tmp[k], w.r[k], w.e[k])
-		s.PT[k].MatVec(w.r[k+1], w.tmp[k])
-	}
-	s.CoarseSolve(w.e[l-1], w.r[l-1])
-	for k := l - 2; k >= 0; k-- {
-		s.P[k].MatVecAdd(w.e[k], w.e[k+1])
-		for t := 0; t < s2; t++ {
-			s.Smo[k].Sweep(w.e[k], w.r[k], w.tmp[k])
-		}
-	}
-	vec.Axpy(1, x, w.e[0])
+	return engine.NewFromHierarchy(h, smoCfg)
 }

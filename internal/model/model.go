@@ -153,6 +153,7 @@ func Run(s *mg.Setup, b []float64, cfg Config) (*Result, error) {
 	done := 0
 	a := s.H.Levels[0].A
 	w := newCorrWorkspace(s)
+	defer w.release(s)
 	readBuf := make([]float64, n)
 	sum := make([]float64, n)
 
@@ -255,9 +256,13 @@ func newCorrWorkspace(s *mg.Setup) *corrWorkspace {
 		rfine: make([]float64, n),
 		corr:  make([]float64, n),
 		av:    make([]float64, n),
-		cw:    s.NewCorrWorkspace(),
+		cw:    s.AcquireCorrWorkspace(),
 	}
 }
+
+// release returns the pooled engine scratch; the workspace must not be
+// used afterwards.
+func (w *corrWorkspace) release(s *mg.Setup) { s.ReleaseCorrWorkspace(w.cw) }
 
 // applyCorrection computes grid k's fine-level correction from the fine
 // residual in w.rfine into w.corr. This is B_k (solution-based) and C_k

@@ -1,0 +1,179 @@
+// Package par provides the persistent goroutine worker pool behind the
+// repository's parallel compute kernels (sparse SpMV/residual, vec
+// axpy/dot/norm, fused multigrid kernels).
+//
+// The pool is built for steady-state hot loops: dispatching a kernel
+// performs no heap allocation (workers are parked on per-worker channels
+// and woken with empty-struct sends; the kernel is passed as a pointer
+// through an interface field), so solvers that run thousands of cycles
+// stay allocation-free while still sharding row loops across cores.
+//
+// Kernels are sharded over a contiguous index space [0, n): worker i
+// receives the half-open range [i*n/w, (i+1)*n/w). Row-independent kernels
+// (SpMV, residual, axpy) therefore produce bitwise-identical results
+// regardless of the worker count; only reductions (dot, norm) combine
+// shard partials in shard order, which can differ from the serial sum at
+// rounding level.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Kernel is a data-parallel computation over an index space. Do computes
+// the shard's share [lo, hi); shard identifies the worker (0-based) so
+// reduction kernels can write into padded per-shard slots.
+type Kernel interface {
+	Do(shard, lo, hi int)
+}
+
+// DefaultThreshold is the initial parallel-dispatch threshold in work
+// units (roughly flops): kernels whose total work is below the threshold
+// run serially on the caller. See SetThreshold.
+const DefaultThreshold = 1 << 15
+
+// threshold is the current dispatch threshold (atomic; see SetThreshold).
+var threshold atomic.Int64
+
+func init() { threshold.Store(DefaultThreshold) }
+
+// SetThreshold sets the minimum kernel work (in flops, approximately) for
+// parallel dispatch. Below it, kernels run serially on the caller —
+// goroutine handoff costs more than the loop for small levels of a
+// multigrid hierarchy. n <= 0 restores DefaultThreshold.
+func SetThreshold(n int) {
+	if n <= 0 {
+		n = DefaultThreshold
+	}
+	threshold.Store(int64(n))
+}
+
+// Threshold returns the current parallel-dispatch threshold.
+func Threshold() int { return int(threshold.Load()) }
+
+// Pool is a persistent team of worker goroutines executing Kernels over
+// sharded index ranges. The zero value is not usable; use NewPool. A Pool
+// runs one kernel at a time (Run serializes concurrent callers).
+type Pool struct {
+	workers int
+	mu      sync.Mutex
+	// Current dispatch, written under mu before workers are woken.
+	k    Kernel
+	n    int
+	wake []chan struct{} // one per auxiliary worker (1..workers-1)
+	done chan struct{}
+	quit chan struct{}
+}
+
+// NewPool starts a pool with the given number of workers (the caller
+// counts as worker 0, so workers-1 goroutines are spawned). workers <= 0
+// selects GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		workers: workers,
+		done:    make(chan struct{}, workers),
+		quit:    make(chan struct{}),
+	}
+	p.wake = make([]chan struct{}, workers-1)
+	for i := range p.wake {
+		p.wake[i] = make(chan struct{}, 1)
+		go p.worker(i + 1)
+	}
+	return p
+}
+
+// Workers returns the pool's worker count (including the caller).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+func (p *Pool) worker(shard int) {
+	for {
+		select {
+		case <-p.quit:
+			return
+		case <-p.wake[shard-1]:
+		}
+		lo, hi := shardRange(p.n, p.workers, shard)
+		if lo < hi {
+			p.k.Do(shard, lo, hi)
+		}
+		p.done <- struct{}{}
+	}
+}
+
+func shardRange(n, workers, shard int) (int, int) {
+	return n * shard / workers, n * (shard + 1) / workers
+}
+
+// Run executes k over [0, n) across all workers and returns when every
+// shard is done. The caller executes shard 0. Kernels must not call Run
+// on the same pool (the pool's mutex is not reentrant). Run performs no
+// heap allocation.
+func (p *Pool) Run(n int, k Kernel) {
+	if p == nil || p.workers == 1 || n <= 1 {
+		k.Do(0, 0, n)
+		return
+	}
+	p.mu.Lock()
+	p.k, p.n = k, n
+	for _, c := range p.wake {
+		c <- struct{}{}
+	}
+	lo, hi := shardRange(n, p.workers, 0)
+	if lo < hi {
+		k.Do(0, lo, hi)
+	}
+	for range p.wake {
+		<-p.done
+	}
+	p.k = nil
+	p.mu.Unlock()
+}
+
+// Close stops the pool's worker goroutines. A closed pool must not be
+// used again.
+func (p *Pool) Close() { close(p.quit) }
+
+// defaultPool is the process-wide pool used by the sparse and vec kernel
+// wrappers; created lazily on first use.
+var defaultPool atomic.Pointer[Pool]
+
+// Default returns the shared kernel pool, creating it (with GOMAXPROCS
+// workers) on first use.
+func Default() *Pool {
+	if p := defaultPool.Load(); p != nil {
+		return p
+	}
+	p := NewPool(0)
+	if !defaultPool.CompareAndSwap(nil, p) {
+		p.Close()
+		return defaultPool.Load()
+	}
+	return p
+}
+
+// SetWorkers replaces the shared pool with one of the given size
+// (<= 0 selects GOMAXPROCS). Intended for benchmarks and command-line
+// knobs; not safe to call while kernels are running on the old pool.
+func SetWorkers(n int) {
+	old := defaultPool.Swap(NewPool(n))
+	if old != nil {
+		old.Close()
+	}
+}
+
+// Par reports whether a kernel with the given total work should be
+// dispatched in parallel on the shared pool: the pool has more than one
+// worker and work meets the threshold.
+func Par(work int) bool {
+	return work >= Threshold() && Default().Workers() > 1
+}

@@ -87,8 +87,25 @@ type S struct {
 	delta []float64
 }
 
+// Precomputed carries matrix-derived vectors a caller has already
+// computed (e.g. the engine's cached hierarchy view), so repeated
+// smoother construction on the same level does not rescan the matrix.
+// Either field may be nil, in which case it is computed from a.
+type Precomputed struct {
+	// Diag is the matrix diagonal (a.Diag()).
+	Diag []float64
+	// RowL1 holds the row ℓ1 norms (a.RowL1Norms()).
+	RowL1 []float64
+}
+
 // New builds a smoother for a. cfg.Blocks <= 0 defaults to 1 block.
 func New(a *sparse.CSR, cfg Config) (*S, error) {
+	return NewWith(a, cfg, Precomputed{})
+}
+
+// NewWith builds a smoother for a, reusing any precomputed diagonal or
+// row-norm vectors instead of rescanning the matrix.
+func NewWith(a *sparse.CSR, cfg Config, pre Precomputed) (*S, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("smoother: matrix must be square, got %dx%d", a.Rows, a.Cols)
 	}
@@ -110,7 +127,10 @@ func New(a *sparse.CSR, cfg Config) (*S, error) {
 		if cfg.Omega <= 0 || cfg.Omega > 2 {
 			return nil, fmt.Errorf("smoother: ω-Jacobi weight %v outside (0, 2]", cfg.Omega)
 		}
-		d := a.Diag()
+		d := pre.Diag
+		if d == nil {
+			d = a.Diag()
+		}
 		s.invDiag = make([]float64, a.Rows)
 		for i, v := range d {
 			if v == 0 {
@@ -119,7 +139,10 @@ func New(a *sparse.CSR, cfg Config) (*S, error) {
 			s.invDiag[i] = cfg.Omega / v
 		}
 	case L1Jacobi:
-		l1 := a.RowL1Norms()
+		l1 := pre.RowL1
+		if l1 == nil {
+			l1 = a.RowL1Norms()
+		}
 		s.invDiag = make([]float64, a.Rows)
 		for i, v := range l1 {
 			if v == 0 {
@@ -159,6 +182,18 @@ func New(a *sparse.CSR, cfg Config) (*S, error) {
 
 // NumBlocks returns the number of blocks of the smoother's partition.
 func (s *S) NumBlocks() int { return len(s.Blocks) }
+
+// InvDiag exposes the diagonal scaling M⁻¹ of the Jacobi-type smoothers
+// (ω/a_ii for WJacobi, 1/‖a_i‖₁ for L1Jacobi) so cycle engines can fuse
+// the zero-guess sweep with the post-sweep residual. Nil for the block
+// smoothers, whose application is not a diagonal scaling.
+func (s *S) InvDiag() []float64 {
+	switch s.Kind {
+	case WJacobi, L1Jacobi:
+		return s.invDiag
+	}
+	return nil
+}
 
 // Apply computes e = Λ r, i.e. one smoothing sweep on A e = r from a zero
 // initial guess, serially over all blocks. e and r must not alias.
@@ -301,9 +336,19 @@ func (s *S) Sweep(e, r, scratch []float64) {
 // uses the ω-Jacobi iteration matrix (s_i = ω/a_ii) so the interpolants stay
 // sparse.
 func InterpolantScaling(a *sparse.CSR, cfg Config) ([]float64, error) {
+	return InterpolantScalingWith(a, cfg, Precomputed{})
+}
+
+// InterpolantScalingWith is InterpolantScaling sourcing the diagonal and
+// row-norm vectors from pre when available, so hierarchy-view owners do
+// not rescan each level's matrix a second time.
+func InterpolantScalingWith(a *sparse.CSR, cfg Config, pre Precomputed) ([]float64, error) {
 	switch cfg.Kind {
 	case L1Jacobi:
-		l1 := a.RowL1Norms()
+		l1 := pre.RowL1
+		if l1 == nil {
+			l1 = a.RowL1Norms()
+		}
 		out := make([]float64, a.Rows)
 		for i, v := range l1 {
 			if v == 0 {
@@ -317,7 +362,10 @@ func InterpolantScaling(a *sparse.CSR, cfg Config) ([]float64, error) {
 		if omega <= 0 {
 			omega = 0.9
 		}
-		d := a.Diag()
+		d := pre.Diag
+		if d == nil {
+			d = a.Diag()
+		}
 		out := make([]float64, a.Rows)
 		for i, v := range d {
 			if v == 0 {

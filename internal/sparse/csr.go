@@ -184,6 +184,18 @@ func (a *CSR) MatVecAdd(y, x []float64) {
 	}
 }
 
+// MatVecAddRange computes y[lo:hi] += (A x)[lo:hi] for the row range
+// [lo, hi).
+func (a *CSR) MatVecAddRange(y, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s := 0.0
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			s += a.Vals[p] * x[a.ColIdx[p]]
+		}
+		y[i] += s
+	}
+}
+
 // Residual computes r = b - A x.
 func (a *CSR) Residual(r, b, x []float64) {
 	if len(r) != a.Rows || len(b) != a.Rows || len(x) != a.Cols {

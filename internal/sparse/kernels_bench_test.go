@@ -1,0 +1,142 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+
+	"asyncmg/internal/par"
+)
+
+// Kernel microbenchmarks for the sharded and fused kernels underneath the
+// cycle engine. Each benchmark pair contrasts the serial reference with
+// the sharded/fused form on the same operands, so regressions in either
+// dispatch path show up directly in `go test -bench Kernel ./internal/sparse`.
+
+const benchRows = 1 << 15 // big enough to cross par.DefaultThreshold
+
+type kernelBenchOps struct {
+	a, p, pT     *CSR
+	x, y, r, rc  []float64
+	invDiag, tmp []float64
+	coarse       int
+}
+
+func newKernelBenchOps(b *testing.B) *kernelBenchOps {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	o := &kernelBenchOps{coarse: benchRows / 8}
+	o.a = randKernelCSR(b, rng, benchRows, benchRows, 8)
+	o.p = randKernelCSR(b, rng, benchRows, o.coarse, 2)
+	o.pT = o.p.Transpose()
+	o.x = randVec(rng, benchRows)
+	o.y = make([]float64, benchRows)
+	o.r = make([]float64, benchRows)
+	o.rc = make([]float64, o.coarse)
+	o.tmp = make([]float64, benchRows)
+	o.invDiag = make([]float64, benchRows)
+	for i := range o.invDiag {
+		o.invDiag[i] = 0.9 / (4 + rng.Float64())
+	}
+	return o
+}
+
+// setParForBench pins the dispatch threshold for the benchmark's duration:
+// 1 forces the sharded path, a huge value forces the serial fallback.
+func setParForBench(b *testing.B, threshold int) {
+	b.Helper()
+	old := par.Threshold()
+	par.SetThreshold(threshold)
+	b.Cleanup(func() { par.SetThreshold(old) })
+}
+
+func BenchmarkKernelMatVec(b *testing.B) {
+	o := newKernelBenchOps(b)
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(o.a.NNZ() * 12))
+		for i := 0; i < b.N; i++ {
+			o.a.MatVec(o.y, o.x)
+		}
+	})
+	b.Run("sharded", func(b *testing.B) {
+		setParForBench(b, 1)
+		b.ReportAllocs()
+		b.SetBytes(int64(o.a.NNZ() * 12))
+		for i := 0; i < b.N; i++ {
+			o.a.MatVecPar(o.y, o.x)
+		}
+	})
+}
+
+func BenchmarkKernelResidual(b *testing.B) {
+	o := newKernelBenchOps(b)
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(o.a.NNZ() * 12))
+		for i := 0; i < b.N; i++ {
+			o.a.Residual(o.r, o.x, o.y)
+		}
+	})
+	b.Run("sharded", func(b *testing.B) {
+		setParForBench(b, 1)
+		b.ReportAllocs()
+		b.SetBytes(int64(o.a.NNZ() * 12))
+		for i := 0; i < b.N; i++ {
+			o.a.ResidualPar(o.r, o.x, o.y)
+		}
+	})
+}
+
+func BenchmarkKernelResidualRestrict(b *testing.B) {
+	o := newKernelBenchOps(b)
+	b.Run("unfused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			o.a.Residual(o.tmp, o.x, o.y)
+			o.pT.MatVec(o.rc, o.tmp)
+		}
+	})
+	b.Run("fused-serial", func(b *testing.B) {
+		setParForBench(b, 1<<62)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			FusedResidualRestrict(o.a, o.p, o.pT, o.rc, o.x, o.y, o.tmp)
+		}
+	})
+	b.Run("fused-sharded", func(b *testing.B) {
+		setParForBench(b, 1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			FusedResidualRestrict(o.a, o.p, o.pT, o.rc, o.x, o.y, o.tmp)
+		}
+	})
+}
+
+func BenchmarkKernelJacobiResidualRestrict(b *testing.B) {
+	o := newKernelBenchOps(b)
+	e := make([]float64, benchRows)
+	b.Run("unfused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := range e {
+				e[j] = o.invDiag[j] * o.x[j]
+			}
+			o.a.Residual(o.tmp, o.x, e)
+			o.pT.MatVec(o.rc, o.tmp)
+		}
+	})
+	b.Run("fused-serial", func(b *testing.B) {
+		setParForBench(b, 1<<62)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			FusedJacobiResidualRestrict(o.a, o.p, o.pT, e, o.rc, o.invDiag, o.x, o.tmp)
+		}
+	})
+	b.Run("fused-sharded", func(b *testing.B) {
+		setParForBench(b, 1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			FusedJacobiResidualRestrict(o.a, o.p, o.pT, e, o.rc, o.invDiag, o.x, o.tmp)
+		}
+	})
+}

@@ -22,4 +22,9 @@ go run ./cmd/mgbench -fig 6   | tee results/fig6.txt
 echo "== Benchmarks (one per table/figure + ablations) =="
 go test -bench=. -benchmem . | tee results/bench.txt
 
+{
+	echo "ok"
+	go version
+	date -u "+%Y-%m-%dT%H:%M:%SZ"
+} > results/status.txt
 echo "All outputs written to results/."
