@@ -58,6 +58,7 @@ import (
 	"asyncmg/internal/mg"
 	"asyncmg/internal/model"
 	"asyncmg/internal/mtx"
+	"asyncmg/internal/obs"
 	"asyncmg/internal/par"
 	"asyncmg/internal/smoother"
 	"asyncmg/internal/sparse"
@@ -408,6 +409,43 @@ func SmootherScaling(a *Matrix, cfg SmootherConfig) ([]float64, error) {
 func ConvergenceFactor(s *Setup, m Method, iters int, seed int64) float64 {
 	return s.ConvergenceFactor(m, iters, seed)
 }
+
+// ---- Observability ----
+
+// Observer is the zero-allocation metrics sink every solver can report
+// into: per-grid relaxation and correction counters, the
+// correction-staleness histogram (the empirical read delay δ),
+// residual-trace events, the unified fault/recovery counters of the
+// distributed solver, and worker-pool utilization. Attach one via
+// AsyncConfig.Observer, DistConfig.Observer, ModelConfig.Observer,
+// CGOptions.Observer, or Setup.SetObserver (for the synchronous cycles);
+// a nil observer disables all instrumentation. All recording is atomic
+// and allocation-free, so one observer may be shared across concurrent
+// solves.
+type Observer = obs.Observer
+
+// MetricsSnapshot is a point-in-time copy of an observer's signals.
+type MetricsSnapshot = obs.Snapshot
+
+// TraceEvent is one entry of an observer's bounded event timeline.
+type TraceEvent = obs.Event
+
+// NewObserver builds an observer for solves over at most `grids` grids
+// (hierarchy levels). Chain WithTrace(capacity) to retain an event
+// timeline.
+func NewObserver(grids int) *Observer { return obs.New(grids) }
+
+// ServeDebug starts an HTTP server on addr exposing /metrics (plain-text
+// exposition of o's registry) and the standard /debug/pprof/ endpoints,
+// returning the bound address. Pass a nil observer for profiling only.
+func ServeDebug(addr string, o *Observer) (string, error) { return obs.ServeDebug(addr, o) }
+
+// StartExecutionTrace begins a runtime/trace capture into path and
+// returns a stop function; an empty path is a no-op.
+func StartExecutionTrace(path string) (stop func() error, err error) { return obs.StartTrace(path) }
+
+// WriteMetricsFile writes o's exposition text to path (truncating).
+func WriteMetricsFile(path string, o *Observer) error { return obs.WriteMetricsFile(path, o) }
 
 // ---- Chaotic relaxation (Section II.C, Equation 5) ----
 

@@ -23,8 +23,13 @@ import (
 	"strings"
 
 	"asyncmg/internal/harness"
+	"asyncmg/internal/obs"
 	"asyncmg/internal/par"
 )
+
+// obsGrids over-estimates the deepest hierarchy any benchmark builds;
+// out-of-range grid indices are dropped by the observer.
+const obsGrids = 16
 
 func main() {
 	log.SetFlags(0)
@@ -42,6 +47,9 @@ func main() {
 	tau := flag.Float64("tau", 0, "tolerance (0 = 1e-9, the paper's)")
 	parWorkers := flag.Int("par-workers", 0, "worker-pool size for the sharded level kernels (0 = GOMAXPROCS)")
 	parThreshold := flag.Int("par-threshold", 0, "minimum kernel work before sharding; smaller levels stay serial (0 = default)")
+	metricsOut := flag.String("metrics-out", "", "write solver metrics (per-grid relaxation counts, staleness histogram, pool gauges) to this file in exposition format")
+	pprofAddr := flag.String("pprof", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
+	traceOut := flag.String("trace", "", "write a runtime execution trace to this file (view with go tool trace)")
 	flag.Parse()
 	par.SetWorkers(*parWorkers)
 	par.SetThreshold(*parThreshold)
@@ -60,6 +68,33 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
+	var o *obs.Observer
+	if *metricsOut != "" || *pprofAddr != "" {
+		o = obs.New(obsGrids)
+	}
+	if *pprofAddr != "" {
+		addr, err := obs.ServeDebug(*pprofAddr, o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("serving metrics and pprof on http://%s", addr)
+	}
+	stopTrace, err := obs.StartTrace(*traceOut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// finish flushes the observability outputs on every successful path
+	// (error paths exit through log.Fatal, which skips the flush).
+	finish := func() {
+		if err := stopTrace(); err != nil {
+			log.Fatal(err)
+		}
+		if err := obs.WriteMetricsFile(*metricsOut, o); err != nil {
+			log.Fatal(err)
+		}
+	}
+	defer finish()
+
 	if *all {
 		run := func(args ...string) {
 			fmt.Printf("\n===== mgbench %s =====\n", strings.Join(args, " "))
@@ -70,14 +105,14 @@ func main() {
 		}{{1, 0}, {0, 4}, {0, 5}, {0, 6}} {
 			run(fmt.Sprintf("-table %d -fig %d", job.tbl, job.fg))
 			*table, *fig = job.tbl, job.fg
-			dispatch(table, fig, problem, size, runs, threads, threadsList, tau)
+			dispatch(table, fig, problem, size, runs, threads, threadsList, tau, o)
 		}
 		return
 	}
-	dispatch(table, fig, problem, size, runs, threads, threadsList, tau)
+	dispatch(table, fig, problem, size, runs, threads, threadsList, tau, o)
 }
 
-func dispatch(table, fig *int, problem *string, size, runs, threads *int, threadsList *string, tau *float64) {
+func dispatch(table, fig *int, problem *string, size, runs, threads *int, threadsList *string, tau *float64, o *obs.Observer) {
 	switch {
 	case *table == 1:
 		problems := harness.AllProblems()
@@ -89,7 +124,7 @@ func dispatch(table, fig *int, problem *string, size, runs, threads *int, thread
 			if p == harness.ProblemElasticity && *size == 0 {
 				cfg.Size = 4 // elasticity DOFs grow 3× faster
 			}
-			applyOverrides(&cfg.Protocol, *runs, *threads, *tau)
+			applyOverrides(&cfg.Protocol, *runs, *threads, *tau, o)
 			if *size > 0 {
 				cfg.Size = *size
 			}
@@ -105,7 +140,7 @@ func dispatch(table, fig *int, problem *string, size, runs, threads *int, thread
 		}
 		for _, p := range problems {
 			cfg := harness.DefaultFig4(p)
-			applyOverrides(&cfg.Protocol, *runs, *threads, *tau)
+			applyOverrides(&cfg.Protocol, *runs, *threads, *tau, o)
 			if *size > 0 {
 				cfg.Sizes = []int{*size}
 			}
@@ -118,7 +153,7 @@ func dispatch(table, fig *int, problem *string, size, runs, threads *int, thread
 		cfg := harness.DefaultFig4(harness.ProblemLaplaceFEM)
 		cfg.Agg = 0 // Figure 5: no aggressive coarsening
 		cfg.Sizes = []int{6, 8, 10}
-		applyOverrides(&cfg.Protocol, *runs, *threads, *tau)
+		applyOverrides(&cfg.Protocol, *runs, *threads, *tau, o)
 		if *size > 0 {
 			cfg.Sizes = []int{*size}
 		}
@@ -143,7 +178,7 @@ func dispatch(table, fig *int, problem *string, size, runs, threads *int, thread
 				cfg.Size = 10
 				cfg.Agg = 0
 			}
-			applyOverrides(&cfg.Protocol, *runs, *threads, *tau)
+			applyOverrides(&cfg.Protocol, *runs, *threads, *tau, o)
 			if *size > 0 {
 				cfg.Size = *size
 			}
@@ -164,7 +199,7 @@ func dispatch(table, fig *int, problem *string, size, runs, threads *int, thread
 	}
 }
 
-func applyOverrides(p *harness.Protocol, runs, threads int, tau float64) {
+func applyOverrides(p *harness.Protocol, runs, threads int, tau float64, o *obs.Observer) {
 	if runs > 0 {
 		p.Runs = runs
 	}
@@ -174,6 +209,7 @@ func applyOverrides(p *harness.Protocol, runs, threads int, tau float64) {
 	if tau > 0 {
 		p.Tau = tau
 	}
+	p.Observer = o
 }
 
 func parseInts(s string) ([]int, error) {

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"asyncmg/internal/harness"
+	"asyncmg/internal/obs"
 )
 
 func TestParseInts(t *testing.T) {
@@ -18,12 +19,13 @@ func TestParseInts(t *testing.T) {
 
 func TestApplyOverrides(t *testing.T) {
 	p := harness.DefaultProtocol()
-	applyOverrides(&p, 7, 9, 1e-5)
-	if p.Runs != 7 || p.Threads != 9 || p.Tau != 1e-5 {
+	o := obs.New(4)
+	applyOverrides(&p, 7, 9, 1e-5, o)
+	if p.Runs != 7 || p.Threads != 9 || p.Tau != 1e-5 || p.Observer != o {
 		t.Errorf("overrides not applied: %+v", p)
 	}
 	q := harness.DefaultProtocol()
-	applyOverrides(&q, 0, 0, 0)
+	applyOverrides(&q, 0, 0, 0, nil)
 	if q.Runs != harness.DefaultProtocol().Runs {
 		t.Error("zero overrides must be no-ops")
 	}

@@ -28,7 +28,13 @@ import (
 	"asyncmg/internal/harness"
 	"asyncmg/internal/mg"
 	"asyncmg/internal/model"
+	"asyncmg/internal/obs"
 )
+
+// obsGrids over-estimates the deepest hierarchy the sweeps build;
+// out-of-range grid indices are dropped by the observer, so the
+// exposition simply carries a few zero rows.
+const obsGrids = 16
 
 func main() {
 	log.SetFlags(0)
@@ -43,11 +49,42 @@ func main() {
 	faultSweep := flag.Bool("fault", false, "run the distributed fault-injection sweep instead of a figure")
 	drop := flag.String("drop", "", "comma-separated drop rates for the -fault sweep (default 0.05,0.10,0.20)")
 	seed := flag.Int64("seed", 1, "fault-schedule seed for the -fault sweep")
+	metricsOut := flag.String("metrics-out", "", "write solver metrics (per-grid relaxation counts, staleness histogram, fault counters) to this file in exposition format")
+	pprofAddr := flag.String("pprof", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
+	traceOut := flag.String("trace", "", "write a runtime execution trace to this file (view with go tool trace)")
 	flag.Parse()
+
+	var o *obs.Observer
+	if *metricsOut != "" || *pprofAddr != "" {
+		o = obs.New(obsGrids)
+	}
+	if *pprofAddr != "" {
+		addr, err := obs.ServeDebug(*pprofAddr, o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("serving metrics and pprof on http://%s", addr)
+	}
+	stopTrace, err := obs.StartTrace(*traceOut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// finish flushes the observability outputs on every successful path
+	// (error paths exit through log.Fatal, which skips the flush).
+	finish := func() {
+		if err := stopTrace(); err != nil {
+			log.Fatal(err)
+		}
+		if err := obs.WriteMetricsFile(*metricsOut, o); err != nil {
+			log.Fatal(err)
+		}
+	}
+	defer finish()
 
 	if *faultSweep {
 		cfg := harness.DefaultFault()
 		cfg.Seed = *seed
+		cfg.Observer = o
 		// -updates overrides the sweep's own default only when set explicitly.
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "updates" {
@@ -83,6 +120,7 @@ func main() {
 			cfg.Sizes = sz
 			cfg.Runs = *runs
 			cfg.Updates = *updates
+			cfg.Observer = o
 			if err := harness.Fig1(os.Stdout, cfg); err != nil {
 				log.Fatal(err)
 			}
@@ -95,6 +133,7 @@ func main() {
 				cfg.Sizes = sz
 				cfg.Runs = *runs
 				cfg.Updates = *updates
+				cfg.Observer = o
 				if err := harness.Fig2(os.Stdout, cfg); err != nil {
 					log.Fatal(err)
 				}

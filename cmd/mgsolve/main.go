@@ -23,6 +23,7 @@ import (
 	"asyncmg/internal/harness"
 	"asyncmg/internal/mg"
 	"asyncmg/internal/mtx"
+	"asyncmg/internal/obs"
 	"asyncmg/internal/par"
 	"asyncmg/internal/smoother"
 	"asyncmg/internal/sparse"
@@ -47,12 +48,41 @@ func main() {
 	seed := flag.Int64("seed", 1, "right-hand-side seed")
 	parWorkers := flag.Int("par-workers", 0, "worker-pool size for the sharded level kernels (0 = GOMAXPROCS)")
 	parThreshold := flag.Int("par-threshold", 0, "minimum kernel work before sharding; smaller levels stay serial (0 = default)")
+	metricsOut := flag.String("metrics-out", "", "write solver metrics (per-grid relaxation counts, staleness histogram, pool gauges) to this file in exposition format")
+	pprofAddr := flag.String("pprof", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
+	traceOut := flag.String("trace", "", "write a runtime execution trace to this file (view with go tool trace)")
 	flag.Parse()
 	par.SetWorkers(*parWorkers)
 	par.SetThreshold(*parThreshold)
 
+	var o *obs.Observer
+	if *metricsOut != "" || *pprofAddr != "" {
+		o = obs.New(32).WithTrace(4096)
+	}
+	if *pprofAddr != "" {
+		addr, err := obs.ServeDebug(*pprofAddr, o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("serving metrics and pprof on http://%s", addr)
+	}
+	stopTrace, err := obs.StartTrace(*traceOut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// finish flushes the observability outputs on every successful path
+	// (error paths exit through log.Fatal, which skips the flush).
+	finish := func() {
+		if err := stopTrace(); err != nil {
+			log.Fatal(err)
+		}
+		if err := obs.WriteMetricsFile(*metricsOut, o); err != nil {
+			log.Fatal(err)
+		}
+	}
+	defer finish()
+
 	var a *sparse.CSR
-	var err error
 	if *matrix != "" {
 		a, err = mtx.ReadFile(*matrix)
 		if err != nil {
@@ -114,6 +144,7 @@ func main() {
 		res, err := async.Solve(context.Background(), setup, b, async.Config{
 			Method: m, Write: wm, Res: rm,
 			Criterion: async.Criterion1, Threads: *threads, MaxCycles: *cycles,
+			Observer: o,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -122,11 +153,13 @@ func main() {
 			m, wm, rm, res.RelRes, res.Elapsed, res.Diverged)
 		fmt.Printf("per-grid corrections: %v (avg %.1f)\n", res.Corrections, res.AvgCorrects)
 		if res.Diverged {
+			finish() // os.Exit skips the deferred flush
 			os.Exit(1)
 		}
 		return
 	}
 
+	setup.SetObserver(o)
 	_, hist := setup.Solve(m, b, *cycles)
 	fmt.Printf("sequential %v convergence (rel res per cycle):\n", m)
 	for t, h := range hist {

@@ -22,6 +22,7 @@ import (
 
 	"asyncmg/internal/engine"
 	"asyncmg/internal/mg"
+	"asyncmg/internal/obs"
 	"asyncmg/internal/partition"
 	"asyncmg/internal/smoother"
 	"asyncmg/internal/vec"
@@ -126,6 +127,12 @@ type Config struct {
 	// them (re-run with increasing MaxCycles instead, as the measurement
 	// protocol does).
 	RecordHistory bool
+	// Observer, when non-nil, receives per-grid relaxation and correction
+	// counts, correction-staleness observations (the age, in globally
+	// applied corrections, of the residual each correction was computed
+	// from), and cycle events. Recording is atomic and allocation-free;
+	// nil disables instrumentation entirely.
+	Observer *obs.Observer
 }
 
 // Result reports a parallel solve's outcome.
@@ -197,6 +204,10 @@ type solverState struct {
 
 	stop      atomic.Bool // criterion-2 stop flag
 	corrCount []atomic.Int64
+	// epoch counts corrections applied globally (all grids); maintained
+	// only when cfg.Observer is set. The difference between a team's write
+	// instant and its residual-read instant is the empirical staleness δ.
+	epoch atomic.Int64
 	// history[t+1] is the relative residual after cycle t (RecordHistory).
 	history []float64
 	normB   float64
@@ -241,6 +252,26 @@ type gridRun struct {
 	// stopLocal is thread 0's team-consistent break decision (written
 	// before a barrier, read after it).
 	stopLocal bool
+	// readEpoch is the global correction epoch at the instant this grid
+	// last read the shared residual state (thread 0 only; observer runs).
+	readEpoch int64
+}
+
+// recordCorrection reports one applied correction of grid k to the
+// configured observer: the smoothing sweeps the engine's Correction body
+// performed for it (one on grid k — the coarse exact solve counts as one
+// — plus, for AFACx, one on grid k+1), and the correction itself with
+// its staleness.
+func (rt *solverState) recordCorrection(k int, staleness int64) {
+	o := rt.cfg.Observer
+	if o == nil {
+		return
+	}
+	o.Relaxed(k, 1)
+	if rt.cfg.Method == mg.AFACx && k+1 < rt.s.NumLevels() {
+		o.Relaxed(k+1, 1)
+	}
+	o.Corrected(k, staleness)
 }
 
 // solveAdditive runs Multadd/AFACx, synchronous or asynchronous.

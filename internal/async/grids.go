@@ -46,11 +46,22 @@ func (g *gridRun) runAsync(tid int) {
 			g.readX(tid)
 			g.acquireResidual(tid)
 		}
+		if tid == 0 && rt.cfg.Observer != nil {
+			// The residual the correction below is computed from was read
+			// at this epoch (r^k = b on the first pass, epoch 0).
+			g.readEpoch = rt.epoch.Load()
+		}
 		out := g.computeCorrection(tid, g.rk)
 		g.writeX(tid, out)
 		g.publishResidual(tid, out)
 		myCount++
 		if tid == 0 {
+			if rt.cfg.Observer != nil {
+				// Staleness: corrections applied globally between our
+				// residual read and our write, excluding our own.
+				applied := rt.epoch.Add(1) - 1
+				rt.recordCorrection(g.k, applied-g.readEpoch)
+			}
 			rt.corrCount[g.k].Store(int64(myCount))
 			// Criterion 2: the master thread (grid 0, thread 0) raises the
 			// stop flag once every grid has done at least MaxCycles
@@ -118,6 +129,10 @@ func (g *gridRun) runSync(tid int) {
 		}
 		if tid == 0 {
 			rt.corrCount[g.k].Store(int64(t + 1))
+			// Synchronous cycles correct from a residual consistent with
+			// every previously applied correction: staleness 0 by
+			// construction.
+			rt.recordCorrection(g.k, 0)
 		}
 		// Record the post-cycle residual norm. Only one thread computes it,
 		// and nothing writes the global residual until every thread passes
@@ -130,6 +145,7 @@ func (g *gridRun) runSync(tid int) {
 				sum += v * v
 			}
 			rt.history[t+1] = math.Sqrt(sum) / rt.normB
+			rt.cfg.Observer.CycleDone(rt.history[t+1])
 		}
 	}
 }

@@ -3,6 +3,7 @@ package async
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -144,6 +145,19 @@ func solveMult(ctx context.Context, s *mg.Setup, b []float64, cfg Config) (*Resu
 					x[i] += e[0][i]
 				}
 				bar.Wait()
+				// V(1,1): two sweeps per level plus the coarse exact solve;
+				// synchronous, so every correction has staleness 0. The
+				// residual norm is not computed mid-flight (NaN on the
+				// trace).
+				if o := cfg.Observer; o != nil && tid == 0 {
+					for k := 0; k < l-1; k++ {
+						o.Relaxed(k, 2)
+						o.Corrected(k, 0)
+					}
+					o.Relaxed(l-1, 1)
+					o.Corrected(l-1, 0)
+					o.CycleDone(math.NaN())
+				}
 			}
 		}(tid)
 	}

@@ -35,6 +35,7 @@ import (
 
 	"asyncmg/internal/fault"
 	"asyncmg/internal/mg"
+	"asyncmg/internal/obs"
 	"asyncmg/internal/vec"
 )
 
@@ -98,6 +99,14 @@ type Config struct {
 	// blow up silently. 0 selects DefaultDivergeFactor; negative
 	// disables the monitor.
 	DivergeFactor float64
+
+	// Observer, when non-nil, receives per-grid relaxation/correction
+	// counts, correction staleness (corrections the owner applied between
+	// taking the snapshot a correction was computed from and applying that
+	// correction), residual samples per apply, recovery events, and — at
+	// the end of the solve — the transport's fault counters. Nil disables
+	// instrumentation.
+	Observer *obs.Observer
 }
 
 // Result reports a distributed solve.
@@ -180,6 +189,10 @@ type snapshot struct {
 	// delivery harmless.
 	counts []int
 	r      []float64
+	// applied is the owner's total applied-correction count when the
+	// snapshot was taken; echoed back in corrections so the owner can
+	// measure each correction's staleness.
+	applied int
 	// resend marks watchdog recovery broadcasts: workers recompute and
 	// resend their current correction even if they already sent it (the
 	// original may have been lost).
@@ -187,10 +200,11 @@ type snapshot struct {
 }
 
 // correction is a worker→owner message. it tags the correction index so
-// the owner can deduplicate.
+// the owner can deduplicate. base echoes the applied count of the
+// snapshot the correction was computed from (staleness measurement).
 type correction struct {
-	grid, it int
-	c        []float64
+	grid, it, base int
+	c              []float64
 }
 
 // Solve runs the distributed asynchronous additive solve on A x = b,
@@ -286,7 +300,7 @@ func Solve(ctx context.Context, s *mg.Setup, b []float64, cfg Config) (*Result, 
 				}
 				s.GridCorrection(cfg.Method, k, out, snap.r, ws)
 				tr.SendUp(k, fault.Msg{From: k, Seq: int64(it), Payload: correction{
-					grid: k, it: it, c: append([]float64(nil), out...),
+					grid: k, it: it, base: snap.applied, c: append([]float64(nil), out...),
 				}})
 				lastSent = it
 			}
@@ -320,6 +334,18 @@ func Solve(ctx context.Context, s *mg.Setup, b []float64, cfg Config) (*Result, 
 		divLimit = divergeFactor * normB
 	}
 
+	o := cfg.Observer
+	// relaxed attributes the smoothing work of one applied correction of
+	// grid k (workers relax, but attribution happens at apply time so the
+	// relaxation counts reconcile with the applied-correction counts —
+	// discarded duplicates are not double-counted).
+	relaxed := func(k int) {
+		o.Relaxed(k, 1)
+		if cfg.Method == mg.AFACx && k+1 < l {
+			o.Relaxed(k+1, 1)
+		}
+	}
+
 	finished := func(k int) bool { return retired[k] || counts[k] >= maxCorr }
 	allDone := func() bool {
 		for k := 0; k < l; k++ {
@@ -330,6 +356,7 @@ func Solve(ctx context.Context, s *mg.Setup, b []float64, cfg Config) (*Result, 
 		return true
 	}
 	var seq int64
+	applied := 0
 	broadcast := func(resend bool) {
 		seq++
 		sc := append([]int(nil), counts...)
@@ -338,11 +365,12 @@ func Solve(ctx context.Context, s *mg.Setup, b []float64, cfg Config) (*Result, 
 				sc[j] = maxCorr // report retired grids as finished
 			}
 		}
-		snap := snapshot{counts: sc, r: append([]float64(nil), r...), resend: resend}
+		snap := snapshot{counts: sc, r: append([]float64(nil), r...), applied: applied, resend: resend}
 		for k := 0; k < l; k++ {
 			tr.SendDown(k, fault.Msg{From: -1, Seq: seq, Payload: snap})
 			res.ResidualBroadcasts++
 		}
+		o.TraceEvent(obs.EvBroadcast, -1, float64(applied))
 	}
 
 	// Watchdog bookkeeping: silence[k] counts consecutive watchdog fires
@@ -371,7 +399,6 @@ func Solve(ctx context.Context, s *mg.Setup, b []float64, cfg Config) (*Result, 
 	}
 
 	broadcast(false)
-	applied := 0
 	for !allDone() {
 		select {
 		case <-ctx.Done():
@@ -382,6 +409,9 @@ func Solve(ctx context.Context, s *mg.Setup, b []float64, cfg Config) (*Result, 
 			c := m.Payload.(correction)
 			if retired[c.grid] || counts[c.grid] >= maxCorr || c.it != counts[c.grid] {
 				res.Discarded++
+				if o != nil {
+					o.Discarded.Inc()
+				}
 				continue
 			}
 			counts[c.grid]++
@@ -391,6 +421,11 @@ func Solve(ctx context.Context, s *mg.Setup, b []float64, cfg Config) (*Result, 
 			vec.Axpy(-1, r, ac)
 			applied++
 			rnorm := vec.Norm2(r)
+			// Staleness: corrections applied since the snapshot this
+			// correction was computed from (excluding itself).
+			relaxed(c.grid)
+			o.Corrected(c.grid, int64(applied-1-c.base))
+			o.ResidualSample(c.grid, rnorm/normB)
 			if debugTrace != nil {
 				debugTrace(applied, c.grid, rnorm)
 			}
@@ -400,6 +435,10 @@ func Solve(ctx context.Context, s *mg.Setup, b []float64, cfg Config) (*Result, 
 				copy(x, bestX)
 				copy(r, bestR)
 				res.DivergenceResets++
+				if o != nil {
+					o.DivergenceResets.Inc()
+				}
+				o.TraceEvent(obs.EvRollback, c.grid, rnorm/normB)
 				broadcast(true)
 			} else {
 				if rnorm <= bestNorm {
@@ -422,6 +461,10 @@ func Solve(ctx context.Context, s *mg.Setup, b []float64, cfg Config) (*Result, 
 
 		case <-timer.C:
 			res.WatchdogFires++
+			if o != nil {
+				o.WatchdogFires.Inc()
+			}
+			o.TraceEvent(obs.EvRecovery, -1, float64(applied))
 			// Identify the stragglers: unfinished grids at the minimum
 			// applied count that made no progress since the last fire.
 			minC := math.MaxInt
@@ -439,10 +482,16 @@ func Solve(ctx context.Context, s *mg.Setup, b []float64, cfg Config) (*Result, 
 				if silence[k] == respawnAfter {
 					startWorker(k)
 					res.Respawns++
+					if o != nil {
+						o.Respawns.Inc()
+					}
 				}
 				if silence[k] >= retireAfter {
 					retired[k] = true
 					res.RetiredGrids = append(res.RetiredGrids, k)
+					if o != nil {
+						o.RetiredGrids.Inc()
+					}
 					silence[k] = 0
 				}
 			}
@@ -469,6 +518,13 @@ func Solve(ctx context.Context, s *mg.Setup, b []float64, cfg Config) (*Result, 
 	res.Duplicates = int(st.Duplicates)
 	res.DelayedMsgs = int(st.Delayed)
 	res.Crashes = int(st.Crashes)
+	if o != nil {
+		// Fold the transport's fault counters into the unified registry.
+		o.Drops.Add(st.Drops)
+		o.Duplicates.Add(st.Duplicates)
+		o.Crashes.Add(st.Crashes)
+		o.StaleSnapshot.Add(st.StaleDrops)
+	}
 
 	// True residual from scratch.
 	rr := make([]float64, n)

@@ -54,17 +54,21 @@ func (s *Engine) MultCycle(x, b []float64, w *Workspace) {
 			// r_{k+1} = Pᵀ (r_k − A_k e_k)
 			sparse.FusedResidualRestrict(ak, s.P[k], s.PT[k], w.r[k+1], w.r[k], w.e[k], w.tmp[k])
 		}
+		s.obs.Relaxed(k, 1)
 	}
 	// Coarsest solve.
 	s.CoarseSolveScratch(w.e[l-1], w.r[l-1], w.tmp[l-1])
+	s.obs.Relaxed(l-1, 1)
 	// Upward sweep.
 	for k := l - 2; k >= 0; k-- {
 		// e_k += P e_{k+1}
 		s.P[k].MatVecAddPar(w.e[k], w.e[k+1])
 		// e_k += Λ_k (r_k − A_k e_k): post-smoothing.
 		s.Smo[k].Sweep(w.e[k], w.r[k], w.tmp[k])
+		s.obs.Relaxed(k, 1)
 	}
 	vec.AxpyPar(1, x, w.e[0])
+	s.countCorrections()
 }
 
 // MultaddCycle performs one additive Multadd V-cycle (Equation 2):
@@ -89,6 +93,7 @@ func (s *Engine) MultaddCycle(x, b []float64, w *Workspace) {
 			vec.Zero(w.e[k])
 			s.Smo[k].Apply(w.e[k], w.r[k])
 		}
+		s.obs.Relaxed(k, 1)
 		// Prolongate to the finest level through the smoothed chain.
 		cur := w.e[k]
 		for j := k - 1; j >= 0; j-- {
@@ -96,6 +101,19 @@ func (s *Engine) MultaddCycle(x, b []float64, w *Workspace) {
 			cur = w.tmp[j]
 		}
 		vec.AxpyPar(1, x, cur)
+	}
+	s.countCorrections()
+}
+
+// countCorrections records one applied correction per grid: a synchronous
+// cycle corrects every grid once from a fresh residual, so the staleness
+// is 0 by construction.
+func (s *Engine) countCorrections() {
+	if s.obs == nil {
+		return
+	}
+	for k := 0; k < s.NumLevels(); k++ {
+		s.obs.Corrected(k, 0)
 	}
 }
 
@@ -129,11 +147,13 @@ func (s *Engine) AFACxCycleSweeps(x, b []float64, w *Workspace, s1, s2 int) {
 	for k := 0; k < l; k++ {
 		if k == l-1 {
 			s.CoarseSolveScratch(w.e[k], w.r[k], w.tmp[k])
+			s.obs.Relaxed(k, 1)
 		} else {
 			// s2 smoothing sweeps on the next-coarser equations from zero.
 			ec := w.tmp[k+1]
 			vec.Zero(ec)
 			s.smoothSweeps(k+1, ec, w.r[k+1], w.e[k+1], s2)
+			s.obs.Relaxed(k+1, int64(s2))
 			// Modified right-hand side: r_k − A_k P e_{k+1}. (By linearity
 			// of the stationary smoother, s1 sweeps from the initial guess
 			// P e_{k+1} equal P e_{k+1} plus s1 sweeps from zero on this
@@ -151,6 +171,7 @@ func (s *Engine) AFACxCycleSweeps(x, b []float64, w *Workspace, s1, s2 int) {
 			// and no later grid reads it), so it serves as sweep scratch —
 			// mod aliases w.tmp[k] and must not be clobbered.
 			s.smoothSweeps(k, w.e[k], mod, w.r[k], s1)
+			s.obs.Relaxed(k, int64(s1))
 		}
 		// Prolongate grid k's correction to the finest level (plain P).
 		cur := w.e[k]
@@ -160,6 +181,7 @@ func (s *Engine) AFACxCycleSweeps(x, b []float64, w *Workspace, s1, s2 int) {
 		}
 		vec.AxpyPar(1, x, cur)
 	}
+	s.countCorrections()
 }
 
 // smoothSweeps applies `sweeps` smoothing sweeps on level k to A e = r with
@@ -189,6 +211,7 @@ func (s *Engine) BPXCycle(x, b []float64, w *Workspace) {
 			vec.Zero(w.e[k])
 			s.Smo[k].Apply(w.e[k], w.r[k])
 		}
+		s.obs.Relaxed(k, 1)
 		cur := w.e[k]
 		for j := k - 1; j >= 0; j-- {
 			s.P[j].MatVecPar(w.tmp[j], cur)
@@ -196,6 +219,7 @@ func (s *Engine) BPXCycle(x, b []float64, w *Workspace) {
 		}
 		vec.AxpyPar(1, x, cur)
 	}
+	s.countCorrections()
 }
 
 // Solve runs tmax V-cycles of method m starting from x = 0 and returns the
@@ -219,7 +243,9 @@ func (s *Engine) Solve(m Method, b []float64, tmax int) (x []float64, hist []flo
 	for t := 0; t < tmax; t++ {
 		s.Cycle(m, x, b, w)
 		s.H.Levels[0].A.ResidualPar(r, b, x)
-		hist = append(hist, vec.Norm2(r)/nb)
+		rel := vec.Norm2(r) / nb
+		hist = append(hist, rel)
+		s.obs.CycleDone(rel)
 		if vec.HasNonFinite(x) {
 			break
 		}
@@ -243,8 +269,11 @@ func (s *Engine) MultaddCycleSymmetrized(x, b []float64, w *Workspace) {
 	for k := 0; k < l; k++ {
 		if k == l-1 {
 			s.CoarseSolveScratch(w.e[k], w.r[k], w.tmp[k])
+			s.obs.Relaxed(k, 1)
 		} else {
 			s.Smo[k].ApplySymmetrized(w.e[k], w.r[k], w.tmp[k])
+			// The symmetrized smoother is two sweeps (M and Mᵀ).
+			s.obs.Relaxed(k, 2)
 		}
 		cur := w.e[k]
 		for j := k - 1; j >= 0; j-- {
@@ -268,11 +297,14 @@ func (s *Engine) MultCycleSawtooth(x, b []float64, w *Workspace) {
 		s.PT[k].MatVecPar(w.r[k+1], w.r[k])
 	}
 	s.CoarseSolveScratch(w.e[l-1], w.r[l-1], w.tmp[l-1])
+	s.obs.Relaxed(l-1, 1)
 	for k := l - 2; k >= 0; k-- {
 		s.P[k].MatVecPar(w.e[k], w.e[k+1])
 		s.Smo[k].Sweep(w.e[k], w.r[k], w.tmp[k])
+		s.obs.Relaxed(k, 1)
 	}
 	vec.AxpyPar(1, x, w.e[0])
+	s.countCorrections()
 }
 
 // MultCycleSweeps performs one multiplicative V(s1,s2)-cycle: s1
@@ -291,17 +323,21 @@ func (s *Engine) MultCycleSweeps(x, b []float64, w *Workspace, s1, s2 int) {
 		vec.Zero(w.e[k])
 		if s1 > 0 {
 			s.smoothSweeps(k, w.e[k], w.r[k], w.tmp[k], s1)
+			s.obs.Relaxed(k, int64(s1))
 		}
 		sparse.FusedResidualRestrict(ak, s.P[k], s.PT[k], w.r[k+1], w.r[k], w.e[k], w.tmp[k])
 	}
 	s.CoarseSolveScratch(w.e[l-1], w.r[l-1], w.tmp[l-1])
+	s.obs.Relaxed(l-1, 1)
 	for k := l - 2; k >= 0; k-- {
 		s.P[k].MatVecAddPar(w.e[k], w.e[k+1])
 		for t := 0; t < s2; t++ {
 			s.Smo[k].Sweep(w.e[k], w.r[k], w.tmp[k])
 		}
+		s.obs.Relaxed(k, int64(s2))
 	}
 	vec.AxpyPar(1, x, w.e[0])
+	s.countCorrections()
 }
 
 // ConvergenceFactor estimates the asymptotic convergence factor ρ of one

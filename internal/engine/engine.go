@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"asyncmg/internal/amg"
+	"asyncmg/internal/obs"
 	"asyncmg/internal/smoother"
 	"asyncmg/internal/sparse"
 	"asyncmg/internal/vec"
@@ -81,7 +82,22 @@ type Engine struct {
 	diag, rowL1 [][]float64
 
 	wsPool, corrPool sync.Pool
+
+	// obs receives per-grid relaxation/correction counts and cycle
+	// residual samples from the engine's own cycle methods. Nil (the
+	// default) disables instrumentation at the cost of one branch per
+	// event. The shared Correction body is NOT auto-instrumented — the
+	// async/distmem/model callers attribute their own counts, so a solve
+	// is never double-counted.
+	obs *obs.Observer
 }
+
+// SetObserver attaches a metrics observer to the engine's cycle methods.
+// Call it before solving; it must not race with running cycles.
+func (s *Engine) SetObserver(o *obs.Observer) { s.obs = o }
+
+// Observer returns the attached observer (nil when not set).
+func (s *Engine) Observer() *obs.Observer { return s.obs }
 
 // New builds the hierarchy for a and all solver operators.
 func New(a *sparse.CSR, amgOpt amg.Options, smoCfg smoother.Config) (*Engine, error) {

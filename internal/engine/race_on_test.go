@@ -1,0 +1,8 @@
+//go:build race
+
+package engine
+
+// raceEnabled reports whether the race detector is active: sync.Pool
+// intentionally drops items under -race to surface races, so pool-reuse
+// and allocation assertions are not meaningful there.
+const raceEnabled = true

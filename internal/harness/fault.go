@@ -10,6 +10,7 @@ import (
 	"asyncmg/internal/fault"
 	"asyncmg/internal/grid"
 	"asyncmg/internal/mg"
+	"asyncmg/internal/obs"
 	"asyncmg/internal/smoother"
 )
 
@@ -25,6 +26,10 @@ type FaultConfig struct {
 	Watchdog  time.Duration // owner watchdog timeout (0 = solver default)
 	Timeout   time.Duration // per-solve context deadline guard
 	Agg       int
+	// Observer, when non-nil, accumulates every scenario's per-grid
+	// counts, staleness observations and fault/recovery counters under one
+	// registry (for -metrics-out style exposition).
+	Observer *obs.Observer
 }
 
 // DefaultFault mirrors the acceptance scenarios of the robustness suite at
@@ -104,6 +109,7 @@ func FaultSweep(w io.Writer, cfg FaultConfig) error {
 			MaxCorrections:  cfg.Updates,
 			WatchdogTimeout: cfg.Watchdog,
 			Fault:           sc.cfg,
+			Observer:        cfg.Observer,
 		})
 		cancel()
 		if err != nil {

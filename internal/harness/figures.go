@@ -9,6 +9,7 @@ import (
 	"asyncmg/internal/grid"
 	"asyncmg/internal/mg"
 	"asyncmg/internal/model"
+	"asyncmg/internal/obs"
 	"asyncmg/internal/smoother"
 )
 
@@ -57,6 +58,11 @@ type Fig1Config struct {
 	Updates int
 	Runs    int
 	Agg     int // aggressive coarsening levels (paper: 1)
+	// Observer, when non-nil, accumulates the per-grid relaxation counts
+	// and staleness observations of every model run in the sweep (for
+	// -metrics-out style exposition). The figure's own metrics columns are
+	// computed per row regardless.
+	Observer *obs.Observer
 }
 
 // DefaultFig1 mirrors the paper at reduced scale (the paper uses the 27pt
@@ -78,10 +84,12 @@ func DefaultFig1(method mg.Method) Fig1Config {
 func Fig1(w io.Writer, cfg Fig1Config) error {
 	fmt.Fprintf(w, "# Figure 1 (%s): semi-async %s, delta=0, mean of %d runs\n",
 		cfg.Problem, cfg.Method, cfg.Runs)
+	fmt.Fprintf(w, "# metrics: relax/run = mean relaxations per model run; stale-p50 = median read delay in sweeps\n")
 	fmt.Fprintf(w, "%8s %12s", "n", "sync")
 	for _, a := range cfg.Alphas {
 		fmt.Fprintf(w, " %12s", fmt.Sprintf("alpha=%.1f", a))
 	}
+	fmt.Fprintf(w, " %10s %9s", "relax/run", "stale-p50")
 	fmt.Fprintln(w)
 	for _, n := range cfg.Sizes {
 		s, err := buildSetup(cfg.Problem, n, PaperSetup(cfg.Problem, cfg.Agg, smoother.WJacobi))
@@ -89,6 +97,7 @@ func Fig1(w io.Writer, cfg Fig1Config) error {
 			return err
 		}
 		b := grid.RandomRHS(s.LevelSize(0), 42)
+		row := obs.New(s.NumLevels())
 		fmt.Fprintf(w, "%8d %12.3e", n, relResAfter(s, cfg.Method, b, cfg.Updates))
 		for _, alpha := range cfg.Alphas {
 			var vals []float64
@@ -96,7 +105,8 @@ func Fig1(w io.Writer, cfg Fig1Config) error {
 				res, err := model.Run(s, b, model.Config{
 					Variant: model.SemiAsync, Method: cfg.Method,
 					Alpha: alpha, Delta: 0, Updates: cfg.Updates,
-					Seed: int64(1000*run) + 7,
+					Seed:     int64(1000*run) + 7,
+					Observer: row,
 				})
 				if err != nil {
 					return err
@@ -105,9 +115,26 @@ func Fig1(w io.Writer, cfg Fig1Config) error {
 			}
 			fmt.Fprintf(w, " %12.3e", mean(vals))
 		}
+		writeMetricsCols(w, row, cfg.Runs*len(cfg.Alphas))
 		fmt.Fprintln(w)
+		cfg.Observer.Merge(row.Snapshot())
 	}
 	return nil
+}
+
+// writeMetricsCols appends the observability columns of one figure row:
+// mean relaxations per model run and the median correction staleness.
+func writeMetricsCols(w io.Writer, row *obs.Observer, runs int) {
+	snap := row.Snapshot()
+	var relax int64
+	for _, v := range snap.Relaxations {
+		relax += v
+	}
+	perRun := 0.0
+	if runs > 0 {
+		perRun = float64(relax) / float64(runs)
+	}
+	fmt.Fprintf(w, " %10.1f %9d", perRun, snap.Staleness.Quantile(0.5))
 }
 
 // Fig2Config parameterizes the full-async model figure (Figure 2): final
@@ -123,6 +150,9 @@ type Fig2Config struct {
 	Updates int
 	Runs    int
 	Agg     int
+	// Observer, when non-nil, accumulates the sweep's per-grid relaxation
+	// counts and staleness observations (see Fig1Config.Observer).
+	Observer *obs.Observer
 }
 
 // DefaultFig2 mirrors the paper at reduced scale.
@@ -144,10 +174,12 @@ func DefaultFig2(method mg.Method, variant model.Variant) Fig2Config {
 func Fig2(w io.Writer, cfg Fig2Config) error {
 	fmt.Fprintf(w, "# Figure 2 (%s): %s %s, alpha=%.2f, mean of %d runs\n",
 		cfg.Problem, cfg.Variant, cfg.Method, cfg.Alpha, cfg.Runs)
+	fmt.Fprintf(w, "# metrics: relax/run = mean relaxations per model run; stale-p50 = median read delay in sweeps\n")
 	fmt.Fprintf(w, "%8s %12s", "n", "sync")
 	for _, d := range cfg.Deltas {
 		fmt.Fprintf(w, " %12s", fmt.Sprintf("delta=%d", d))
 	}
+	fmt.Fprintf(w, " %10s %9s", "relax/run", "stale-p50")
 	fmt.Fprintln(w)
 	for _, n := range cfg.Sizes {
 		s, err := buildSetup(cfg.Problem, n, PaperSetup(cfg.Problem, cfg.Agg, smoother.WJacobi))
@@ -155,6 +187,7 @@ func Fig2(w io.Writer, cfg Fig2Config) error {
 			return err
 		}
 		b := grid.RandomRHS(s.LevelSize(0), 42)
+		row := obs.New(s.NumLevels())
 		fmt.Fprintf(w, "%8d %12.3e", n, relResAfter(s, cfg.Method, b, cfg.Updates))
 		for _, delta := range cfg.Deltas {
 			var vals []float64
@@ -162,7 +195,8 @@ func Fig2(w io.Writer, cfg Fig2Config) error {
 				res, err := model.Run(s, b, model.Config{
 					Variant: cfg.Variant, Method: cfg.Method,
 					Alpha: cfg.Alpha, Delta: delta, Updates: cfg.Updates,
-					Seed: int64(1000*run) + 13,
+					Seed:     int64(1000*run) + 13,
+					Observer: row,
 				})
 				if err != nil {
 					return err
@@ -171,7 +205,9 @@ func Fig2(w io.Writer, cfg Fig2Config) error {
 			}
 			fmt.Fprintf(w, " %12.3e", mean(vals))
 		}
+		writeMetricsCols(w, row, cfg.Runs*len(cfg.Deltas))
 		fmt.Fprintln(w)
+		cfg.Observer.Merge(row.Snapshot())
 	}
 	return nil
 }

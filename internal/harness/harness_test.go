@@ -146,11 +146,21 @@ func TestFig1Smoke(t *testing.T) {
 	}
 	out := buf.String()
 	lines := strings.Split(strings.TrimSpace(out), "\n")
-	if len(lines) != 4 { // header comment + column header + 2 size rows
+	if len(lines) != 5 { // 2 header comments + column header + 2 size rows
 		t.Fatalf("got %d lines:\n%s", len(lines), out)
 	}
-	if !strings.Contains(lines[1], "alpha=0.1") {
-		t.Errorf("missing alpha column: %s", lines[1])
+	if !strings.Contains(lines[2], "alpha=0.1") {
+		t.Errorf("missing alpha column: %s", lines[2])
+	}
+	if !strings.Contains(lines[2], "relax/run") || !strings.Contains(lines[2], "stale-p50") {
+		t.Errorf("missing metrics columns: %s", lines[2])
+	}
+	// The relaxation column must reconcile with the sweep's correction
+	// counts: every model run does Updates corrections on each of the
+	// hierarchy's grids, so relax/run == Updates * levels — which for
+	// these sizes is a round multiple of Updates (10).
+	if !strings.Contains(lines[3], "20.0") && !strings.Contains(lines[3], "30.0") {
+		t.Errorf("relax/run not a multiple of Updates: %s", lines[3])
 	}
 }
 

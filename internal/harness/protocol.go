@@ -8,6 +8,7 @@ import (
 	"asyncmg/internal/async"
 	"asyncmg/internal/grid"
 	"asyncmg/internal/mg"
+	"asyncmg/internal/obs"
 )
 
 // MethodSpec names one row of Table I: a solver variant with its write and
@@ -68,6 +69,10 @@ type Protocol struct {
 	Threads int
 	// Seed0 seeds the random right-hand sides; run i uses Seed0 + i.
 	Seed0 int64
+	// Observer, when non-nil, accumulates per-grid relaxation/correction
+	// counts and staleness observations across every solve the protocol
+	// performs (prescreens included).
+	Observer *obs.Observer
 }
 
 // DefaultProtocol returns a scaled-down protocol suitable for this
@@ -93,6 +98,7 @@ func (p Protocol) TimeToTol(s *mg.Setup, spec MethodSpec) TTResult {
 		cfg.Criterion = async.Criterion2
 		cfg.Threads = p.Threads
 		cfg.MaxCycles = p.CycleMax
+		cfg.Observer = p.Observer
 		res, err := async.Solve(context.Background(), s, b, cfg)
 		switch {
 		case err != nil:
@@ -115,6 +121,7 @@ func (p Protocol) TimeToTol(s *mg.Setup, spec MethodSpec) TTResult {
 			cfg.Criterion = async.Criterion2
 			cfg.Threads = p.Threads
 			cfg.MaxCycles = cycles
+			cfg.Observer = p.Observer
 			res, err := async.Solve(context.Background(), s, b, cfg)
 			if err != nil {
 				return TTResult{Diverged: true}
@@ -154,6 +161,7 @@ func (p Protocol) MeanRelRes(s *mg.Setup, spec MethodSpec, cycles int) (float64,
 		cfg.Criterion = async.Criterion1
 		cfg.Threads = p.Threads
 		cfg.MaxCycles = cycles
+		cfg.Observer = p.Observer
 		res, err := async.Solve(context.Background(), s, b, cfg)
 		if err != nil || res.Diverged {
 			return math.Inf(1), true

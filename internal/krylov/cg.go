@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"asyncmg/internal/mg"
+	"asyncmg/internal/obs"
 	"asyncmg/internal/sparse"
 	"asyncmg/internal/vec"
 )
@@ -80,6 +81,12 @@ type Options struct {
 	MaxIter int
 	// M is the preconditioner; nil means plain CG.
 	M Preconditioner
+	// Observer, when non-nil, records one iteration event with the
+	// relative residual per CG iteration. When M is a multigrid
+	// preconditioner whose setup carries the same observer, per-grid
+	// relaxation counts accumulate alongside. Nil disables
+	// instrumentation.
+	Observer *obs.Observer
 }
 
 // DefaultOptions returns Tol 1e-9, MaxIter 1000, no preconditioner.
@@ -144,6 +151,7 @@ func Solve(a *sparse.CSR, b []float64, opt Options) (*Result, error) {
 		rel := vec.Norm2Par(r) / nb
 		res.History = append(res.History, rel)
 		res.Iterations = it + 1
+		opt.Observer.IterationDone(rel)
 		if rel < opt.Tol {
 			res.X = x
 			res.RelRes = rel

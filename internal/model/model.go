@@ -22,6 +22,7 @@ import (
 	"math/rand"
 
 	"asyncmg/internal/mg"
+	"asyncmg/internal/obs"
 	"asyncmg/internal/vec"
 )
 
@@ -72,6 +73,11 @@ type Config struct {
 	// MaxInstants caps the simulated time to guard against pathological
 	// (α→0) runs; 0 means Updates * 1000.
 	MaxInstants int
+	// Observer, when non-nil, receives per-grid relaxation/correction
+	// counts and the realized read delay t − z of every correction (the
+	// model's exact staleness: the oldest component read for the
+	// full-async variants). Nil disables instrumentation.
+	Observer *obs.Observer
 }
 
 // Result reports the outcome of a simulation run.
@@ -158,6 +164,20 @@ func Run(s *mg.Setup, b []float64, cfg Config) (*Result, error) {
 	sum := make([]float64, n)
 
 	t := 0
+	o := cfg.Observer
+	// record reports grid k's correction at instant t, computed from
+	// information read at instant z (staleness t − z: the model's exact
+	// read delay, bounded by δ).
+	record := func(k, z int) {
+		if o == nil {
+			return
+		}
+		o.Relaxed(k, 1)
+		if cfg.Method == mg.AFACx && k+1 < l {
+			o.Relaxed(k+1, 1)
+		}
+		o.Corrected(k, int64(t-z))
+	}
 	for done < l && t < maxT {
 		vec.Zero(sum)
 		active := false
@@ -183,12 +203,16 @@ func Run(s *mg.Setup, b []float64, cfg Config) (*Result, error) {
 				a.Residual(w.rfine, b, readBuf)
 				applyCorrection(s, cfg.Method, k, w)
 				vec.Axpy(1, sum, w.corr)
+				record(k, z)
 			case FullAsyncSolution:
-				maxZ := lo
+				maxZ, minZ := lo, t
 				for i := 0; i < n; i++ {
 					z := lo + rng.Intn(t-lo+1)
 					if z > maxZ {
 						maxZ = z
+					}
+					if z < minZ {
+						minZ = z
 					}
 					readBuf[i] = hist.elem(z, t, i)
 				}
@@ -196,18 +220,23 @@ func Run(s *mg.Setup, b []float64, cfg Config) (*Result, error) {
 				a.Residual(w.rfine, b, readBuf)
 				applyCorrection(s, cfg.Method, k, w)
 				vec.Axpy(1, sum, w.corr)
+				record(k, minZ)
 			case FullAsyncResidual:
-				maxZ := lo
+				maxZ, minZ := lo, t
 				for i := 0; i < n; i++ {
 					z := lo + rng.Intn(t-lo+1)
 					if z > maxZ {
 						maxZ = z
+					}
+					if z < minZ {
+						minZ = z
 					}
 					w.rfine[i] = hist.elem(z, t, i)
 				}
 				lastRead[k] = maxZ
 				applyCorrection(s, cfg.Method, k, w)
 				vec.Axpy(1, sum, w.corr)
+				record(k, minZ)
 			}
 		}
 		// Commit the summed corrections for this instant.

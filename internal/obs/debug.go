@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime/trace"
+)
+
+// ServeDebug starts an HTTP server on addr exposing the observer's
+// metrics at /metrics (exposition format) and the standard pprof profile
+// endpoints under /debug/pprof/. It returns the bound address (useful
+// with a ":0" addr) after the listener is live; the server itself runs on
+// a background goroutine for the life of the process. obs may be nil
+// (profiling endpoints only).
+func ServeDebug(addr string, o *Observer) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := o.WriteText(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: debug listener: %w", err)
+	}
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln.Addr().String(), nil
+}
+
+// StartTrace begins a runtime execution trace into the named file and
+// returns a stop function that ends the trace and closes the file. An
+// empty path is a no-op (the returned stop is still non-nil).
+func StartTrace(path string) (stop func() error, err error) {
+	if path == "" {
+		return func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: trace file: %w", err)
+	}
+	if err := trace.Start(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: trace start: %w", err)
+	}
+	return func() error {
+		trace.Stop()
+		return f.Close()
+	}, nil
+}
+
+// WriteMetricsFile writes the observer's exposition text to path
+// (truncating). A nil observer or empty path is a no-op.
+func WriteMetricsFile(path string, o *Observer) error {
+	if o == nil || path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: metrics file: %w", err)
+	}
+	if err := o.WriteText(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

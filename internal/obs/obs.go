@@ -1,0 +1,438 @@
+// Package obs is the solver observability layer: allocation-free metric
+// instruments (atomic counters and gauges, cache-line-padded per-grid
+// counter vectors, fixed-bucket histograms), an optional bounded
+// ring-buffer event tracer, a named Registry with a plain-text exposition
+// writer, and the Observer type that the cycle engine, the asynchronous
+// goroutine teams, the distributed-memory simulation, the §III models,
+// the par worker pool and the Krylov solvers all report into.
+//
+// Everything the paper's evaluation plots — per-grid relaxation counts
+// (Figures 4-6 x-axes), correction staleness (the read delay δ of the
+// semi/full-async models), residual timelines (Figures 1-3) — is exposed
+// on a live run through one Observer.
+//
+// Design rules:
+//
+//   - Recording on the solver hot path never allocates: counters and
+//     histograms are plain atomic adds, per-grid cells are padded to a
+//     cache line so teams on different grids never false-share, and the
+//     tracer writes into a preallocated ring under a short mutex.
+//   - Every recording method is safe on a nil receiver, so solvers thread
+//     one *Observer unconditionally and a nil observer costs one branch.
+//   - Reads (Snapshot, WriteText) are concurrent-safe with writers; they
+//     observe each instrument atomically but the set as a whole is only
+//     loosely consistent, as live metrics always are.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// cell is a cache-line-padded atomic counter: per-grid instruments give
+// each grid its own cell so concurrent teams never contend or false-share.
+type cell struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; all methods are nil-safe no-ops.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.v.Add(d)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current count (0 for a nil counter).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous atomic value that can move both ways and
+// tracks its high-water mark. The zero value is ready; methods are
+// nil-safe.
+type Gauge struct {
+	v, max atomic.Int64
+}
+
+// Set stores v as the current value (the high-water mark keeps its max).
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+	g.bumpMax(v)
+}
+
+// Add moves the gauge by d and returns the new value.
+func (g *Gauge) Add(d int64) int64 {
+	if g == nil {
+		return 0
+	}
+	v := g.v.Add(d)
+	g.bumpMax(v)
+	return v
+}
+
+func (g *Gauge) bumpMax(v int64) {
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Max returns the high-water mark.
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max.Load()
+}
+
+// GridCounters is a fixed-length vector of per-grid counters, one padded
+// cache line per grid. Methods are nil-safe and ignore out-of-range grid
+// indices (a negative grid index means "not grid-attributed" and is
+// dropped rather than misfiled).
+type GridCounters struct {
+	cells []cell
+}
+
+// NewGridCounters returns a counter vector for `grids` grids.
+func NewGridCounters(grids int) *GridCounters {
+	if grids < 0 {
+		grids = 0
+	}
+	return &GridCounters{cells: make([]cell, grids)}
+}
+
+// Add increments grid k's counter by d.
+func (g *GridCounters) Add(k int, d int64) {
+	if g == nil || k < 0 || k >= len(g.cells) {
+		return
+	}
+	g.cells[k].v.Add(d)
+}
+
+// Inc increments grid k's counter by one.
+func (g *GridCounters) Inc(k int) { g.Add(k, 1) }
+
+// Load returns grid k's count.
+func (g *GridCounters) Load(k int) int64 {
+	if g == nil || k < 0 || k >= len(g.cells) {
+		return 0
+	}
+	return g.cells[k].v.Load()
+}
+
+// Len returns the number of grids.
+func (g *GridCounters) Len() int {
+	if g == nil {
+		return 0
+	}
+	return len(g.cells)
+}
+
+// Total returns the sum over all grids.
+func (g *GridCounters) Total() int64 {
+	var t int64
+	for k := 0; k < g.Len(); k++ {
+		t += g.Load(k)
+	}
+	return t
+}
+
+// Snapshot appends the per-grid counts to dst and returns it.
+func (g *GridCounters) Snapshot(dst []int64) []int64 {
+	for k := 0; k < g.Len(); k++ {
+		dst = append(dst, g.Load(k))
+	}
+	return dst
+}
+
+// Histogram is a fixed-bucket histogram of int64 observations (counts,
+// ages in sweeps, queue depths). Bucket b counts observations <=
+// Bounds[b]; one implicit overflow bucket counts the rest. Observe is a
+// single atomic add into a padded cell plus one into the sum, so
+// concurrent teams do not contend on a lock.
+type Histogram struct {
+	bounds  []int64
+	buckets []cell
+	sum     atomic.Int64
+	count   atomic.Int64
+}
+
+// DefaultStalenessBounds is the bucket layout used for correction
+// staleness (age in sweeps): exponential, 0..128 sweeps plus overflow.
+func DefaultStalenessBounds() []int64 { return []int64{0, 1, 2, 4, 8, 16, 32, 64, 128} }
+
+// NewHistogram builds a histogram with the given ascending bucket upper
+// bounds (plus an implicit +Inf bucket).
+func NewHistogram(bounds []int64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds must ascend, got %v", bounds))
+		}
+	}
+	b := append([]int64(nil), bounds...)
+	return &Histogram{bounds: b, buckets: make([]cell, len(b)+1)}
+}
+
+// Observe records one observation. Nil-safe, allocation-free.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	// Branch-light linear scan: staleness histograms have ~10 buckets and
+	// observations cluster in the first few, so a scan beats binary search.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].v.Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Mean returns the mean observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// MergeSnapshot adds another histogram's snapshot into h. The snapshot
+// must have the same bucket layout (same bounds length); mismatched
+// layouts are ignored. Nil-safe.
+func (h *Histogram) MergeSnapshot(s HistSnapshot) {
+	if h == nil || len(s.Counts) != len(h.buckets) {
+		return
+	}
+	for i, c := range s.Counts {
+		h.buckets[i].v.Add(c)
+	}
+	h.sum.Add(s.Sum)
+	h.count.Add(s.Count)
+}
+
+// HistSnapshot is a point-in-time copy of a histogram.
+type HistSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts has len(Bounds)+1
+	// entries, the last being the overflow bucket.
+	Bounds []int64
+	Counts []int64
+	Sum    int64
+	Count  int64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{
+		Bounds: append([]int64(nil), h.bounds...),
+		Counts: make([]int64, len(h.buckets)),
+		Sum:    h.sum.Load(),
+		Count:  h.count.Load(),
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].v.Load()
+	}
+	return s
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) of the
+// recorded observations: the smallest bucket bound containing it.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	target := int64(q * float64(s.Count))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= target {
+			if i < len(s.Bounds) {
+				return s.Bounds[i]
+			}
+			return s.Bounds[len(s.Bounds)-1] + 1 // overflow bucket
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1] + 1
+}
+
+// ---- Registry ----
+
+// metric is one named exposition entry.
+type metric struct {
+	name string
+	// one of:
+	c    *Counter
+	g    *Gauge
+	gc   *GridCounters
+	h    *Histogram
+	call func() int64
+}
+
+// Registry is a named collection of instruments with a deterministic
+// plain-text exposition writer. Registration is mutex-guarded (setup
+// path); recording goes directly through the instruments (hot path).
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) add(m metric) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.metrics = append(r.metrics, m)
+	r.mu.Unlock()
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name string) *Counter {
+	c := &Counter{}
+	r.add(metric{name: name, c: c})
+	return c
+}
+
+// NewGauge registers and returns a gauge (exposed as <name> and
+// <name>_max).
+func (r *Registry) NewGauge(name string) *Gauge {
+	g := &Gauge{}
+	r.add(metric{name: name, g: g})
+	return g
+}
+
+// NewGridCounters registers and returns a per-grid counter vector
+// (exposed as <name>{grid="k"}).
+func (r *Registry) NewGridCounters(name string, grids int) *GridCounters {
+	gc := NewGridCounters(grids)
+	r.add(metric{name: name, gc: gc})
+	return gc
+}
+
+// NewHistogram registers and returns a histogram (exposed as
+// <name>_bucket{le="..."} / _sum / _count).
+func (r *Registry) NewHistogram(name string, bounds []int64) *Histogram {
+	h := NewHistogram(bounds)
+	r.add(metric{name: name, h: h})
+	return h
+}
+
+// NewCallback registers a read-only metric computed at exposition time
+// (used to fold external atomic state — e.g. the par worker-pool stats —
+// into one registry).
+func (r *Registry) NewCallback(name string, f func() int64) {
+	r.add(metric{name: name, call: f})
+}
+
+// WriteText writes every registered metric in a stable, sorted,
+// Prometheus-style plain-text format:
+//
+//	name 42
+//	name{grid="0"} 7
+//	name_bucket{le="4"} 3
+//	name_bucket{le="+Inf"} 5
+//	name_sum 12
+//	name_count 5
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	ms := append([]metric(nil), r.metrics...)
+	r.mu.Unlock()
+	sort.SliceStable(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	for _, m := range ms {
+		var err error
+		switch {
+		case m.c != nil:
+			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.c.Load())
+		case m.g != nil:
+			if _, err = fmt.Fprintf(w, "%s %d\n", m.name, m.g.Load()); err == nil {
+				_, err = fmt.Fprintf(w, "%s_max %d\n", m.name, m.g.Max())
+			}
+		case m.gc != nil:
+			for k := 0; k < m.gc.Len(); k++ {
+				if _, err = fmt.Fprintf(w, "%s{grid=%q} %d\n", m.name, strconv.Itoa(k), m.gc.Load(k)); err != nil {
+					break
+				}
+			}
+		case m.h != nil:
+			s := m.h.Snapshot()
+			var cum int64
+			for i, c := range s.Counts {
+				cum += c
+				le := "+Inf"
+				if i < len(s.Bounds) {
+					le = strconv.FormatInt(s.Bounds[i], 10)
+				}
+				if _, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, le, cum); err != nil {
+					break
+				}
+			}
+			if err == nil {
+				_, err = fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", m.name, s.Sum, m.name, s.Count)
+			}
+		case m.call != nil:
+			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.call())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

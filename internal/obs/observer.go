@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"io"
+
+	"asyncmg/internal/par"
+)
+
+// Observer is the per-solve metrics sink the solvers report into. Every
+// recording method is safe on a nil receiver, so the engine, the async
+// teams, the distmem owner/workers, the §III models and the Krylov loop
+// thread one *Observer unconditionally; a nil observer costs one branch
+// per event.
+//
+// The well-known instruments are exported fields for allocation-free hot
+// path access; they are also registered (together with the par
+// worker-pool callbacks) in Registry, so one WriteText call exposes the
+// whole signal catalog.
+type Observer struct {
+	// Registry holds every instrument below plus the worker-pool
+	// callbacks, for text exposition.
+	Registry *Registry
+
+	// Relaxations counts smoothing sweeps per grid (level): the x-axis
+	// quantity of the paper's Figures 4-6 ("relative residual vs
+	// relaxations"). One coarse exact solve counts as one relaxation on
+	// the coarsest grid.
+	Relaxations *GridCounters
+	// Corrections counts applied corrections per grid (the paper's
+	// "Corrects" column).
+	Corrections *GridCounters
+	// Staleness is the age, in globally applied corrections (sweeps), of
+	// the residual information each applied correction was computed from —
+	// the empirical read delay δ of the §III models.
+	Staleness *Histogram
+	// CycleResiduals is the count of residual-norm samples recorded on
+	// the trace (synchronous cycles, CG iterations, distmem applies).
+	CycleResiduals *Counter
+
+	// Faults unifies the fault/recovery counters of the distmem solver
+	// under the registry (mirrors of distmem.Result's counters).
+	Drops, Duplicates, Crashes, Respawns   *Counter
+	WatchdogFires, DivergenceResets        *Counter
+	Discarded, RetiredGrids, StaleSnapshot *Counter
+
+	// Trace is the optional bounded event timeline (nil unless the
+	// observer was built WithTrace).
+	Trace *Tracer
+}
+
+// New builds an observer for a solve over `grids` grids (hierarchy
+// levels). Pass the hierarchy depth; out-of-range grid indices are
+// dropped, so an over-estimate is safe.
+func New(grids int) *Observer {
+	r := NewRegistry()
+	o := &Observer{
+		Registry:         r,
+		Relaxations:      r.NewGridCounters("grid_relaxations_total", grids),
+		Corrections:      r.NewGridCounters("grid_corrections_total", grids),
+		Staleness:        r.NewHistogram("staleness_sweeps", DefaultStalenessBounds()),
+		CycleResiduals:   r.NewCounter("residual_samples_total"),
+		Drops:            r.NewCounter("fault_drops_total"),
+		Duplicates:       r.NewCounter("fault_duplicates_total"),
+		Crashes:          r.NewCounter("fault_crashes_total"),
+		Respawns:         r.NewCounter("recovery_respawns_total"),
+		WatchdogFires:    r.NewCounter("recovery_watchdog_fires_total"),
+		DivergenceResets: r.NewCounter("recovery_divergence_resets_total"),
+		Discarded:        r.NewCounter("recovery_discarded_total"),
+		RetiredGrids:     r.NewCounter("recovery_retired_grids_total"),
+		StaleSnapshot:    r.NewCounter("stale_snapshot_drops_total"),
+	}
+	// Worker-pool signals: callbacks folding par's package-level atomics
+	// into this registry at exposition time.
+	r.NewCallback("pool_dispatches_total", func() int64 { return par.ReadStats().Dispatches })
+	r.NewCallback("pool_serial_kernels_total", func() int64 { return par.ReadStats().Serial })
+	r.NewCallback("pool_queue_depth", func() int64 { return par.ReadStats().QueueDepth })
+	r.NewCallback("pool_queue_depth_max", func() int64 { return par.ReadStats().MaxQueueDepth })
+	r.NewCallback("pool_busy_ns_total", func() int64 { return par.ReadStats().BusyNS })
+	return o
+}
+
+// WithTrace attaches a bounded event tracer retaining the last `capacity`
+// events and returns the observer for chaining.
+func (o *Observer) WithTrace(capacity int) *Observer {
+	if o != nil {
+		o.Trace = NewTracer(capacity)
+	}
+	return o
+}
+
+// ---- nil-safe recording methods (the solver-facing API) ----
+
+// Relaxed records `sweeps` smoothing sweeps on grid k.
+func (o *Observer) Relaxed(k int, sweeps int64) {
+	if o == nil {
+		return
+	}
+	o.Relaxations.Add(k, sweeps)
+}
+
+// Corrected records one applied correction of grid k with the given
+// staleness (age of its residual information in globally applied
+// corrections; pass -1 when unknown, which skips the histogram).
+func (o *Observer) Corrected(k int, staleness int64) {
+	if o == nil {
+		return
+	}
+	o.Corrections.Inc(k)
+	if staleness >= 0 {
+		o.Staleness.Observe(staleness)
+	}
+	o.Trace.Record(EvCorrection, k, float64(staleness))
+}
+
+// CycleDone records one completed V-cycle with the post-cycle relative
+// residual (NaN when not computed).
+func (o *Observer) CycleDone(relres float64) {
+	if o == nil {
+		return
+	}
+	o.CycleResiduals.Inc()
+	o.Trace.Record(EvCycle, -1, relres)
+}
+
+// ResidualSample records a residual-norm observation on the timeline.
+func (o *Observer) ResidualSample(grid int, relres float64) {
+	if o == nil {
+		return
+	}
+	o.CycleResiduals.Inc()
+	o.Trace.Record(EvResidual, grid, relres)
+}
+
+// IterationDone records one Krylov iteration with its relative residual.
+func (o *Observer) IterationDone(relres float64) {
+	if o == nil {
+		return
+	}
+	o.CycleResiduals.Inc()
+	o.Trace.Record(EvIteration, -1, relres)
+}
+
+// TraceEvent records an arbitrary event on the timeline (no counter).
+func (o *Observer) TraceEvent(kind EventKind, grid int, value float64) {
+	if o == nil {
+		return
+	}
+	o.Trace.Record(kind, grid, value)
+}
+
+// Merge folds another observer's snapshot into o: per-grid relaxation
+// and correction counts are added index-aligned (extra grids in the
+// snapshot are dropped), the staleness histogram is merged bucket-wise
+// (ignored on bucket-layout mismatch), and the fault/recovery counters
+// are added by name. The trace timeline and pool gauges are not merged
+// (pool stats are process-global already). Use it to aggregate
+// per-experiment observers into one exposition registry. Nil-safe.
+func (o *Observer) Merge(s Snapshot) {
+	if o == nil {
+		return
+	}
+	for k, v := range s.Relaxations {
+		o.Relaxations.Add(k, v)
+	}
+	for k, v := range s.Corrections {
+		o.Corrections.Add(k, v)
+	}
+	o.Staleness.MergeSnapshot(s.Staleness)
+	for name, v := range s.Faults {
+		if c := o.faultCounter(name); c != nil {
+			c.Add(v)
+		}
+	}
+}
+
+// faultCounter maps an exposition name to the matching counter field.
+func (o *Observer) faultCounter(name string) *Counter {
+	switch name {
+	case "fault_drops_total":
+		return o.Drops
+	case "fault_duplicates_total":
+		return o.Duplicates
+	case "fault_crashes_total":
+		return o.Crashes
+	case "recovery_respawns_total":
+		return o.Respawns
+	case "recovery_watchdog_fires_total":
+		return o.WatchdogFires
+	case "recovery_divergence_resets_total":
+		return o.DivergenceResets
+	case "recovery_discarded_total":
+		return o.Discarded
+	case "recovery_retired_grids_total":
+		return o.RetiredGrids
+	case "stale_snapshot_drops_total":
+		return o.StaleSnapshot
+	}
+	return nil
+}
+
+// ---- snapshots and exposition ----
+
+// Snapshot is a point-in-time copy of an observer's solver signals.
+type Snapshot struct {
+	// Relaxations[k] / Corrections[k] are grid k's counts.
+	Relaxations, Corrections []int64
+	// Staleness is the correction-staleness histogram.
+	Staleness HistSnapshot
+	// Pool is the worker-pool state.
+	Pool par.Stats
+	// Faults are the unified fault/recovery counters, keyed as exposed
+	// (fault_drops_total, recovery_respawns_total, ...).
+	Faults map[string]int64
+	// Events is the retained trace timeline (nil without tracing);
+	// EventsDropped counts ring overwrites.
+	Events        []Event
+	EventsDropped uint64
+}
+
+// Snapshot copies the observer's current state. Safe to call while a
+// solve is running (loosely consistent across instruments). Returns the
+// zero Snapshot for a nil observer.
+func (o *Observer) Snapshot() Snapshot {
+	if o == nil {
+		return Snapshot{}
+	}
+	return Snapshot{
+		Relaxations: o.Relaxations.Snapshot(nil),
+		Corrections: o.Corrections.Snapshot(nil),
+		Staleness:   o.Staleness.Snapshot(),
+		Pool:        par.ReadStats(),
+		Faults: map[string]int64{
+			"fault_drops_total":                o.Drops.Load(),
+			"fault_duplicates_total":           o.Duplicates.Load(),
+			"fault_crashes_total":              o.Crashes.Load(),
+			"recovery_respawns_total":          o.Respawns.Load(),
+			"recovery_watchdog_fires_total":    o.WatchdogFires.Load(),
+			"recovery_divergence_resets_total": o.DivergenceResets.Load(),
+			"recovery_discarded_total":         o.Discarded.Load(),
+			"recovery_retired_grids_total":     o.RetiredGrids.Load(),
+			"stale_snapshot_drops_total":       o.StaleSnapshot.Load(),
+		},
+		Events:        o.Trace.Events(),
+		EventsDropped: o.Trace.Dropped(),
+	}
+}
+
+// WriteText writes the full registry in exposition format, followed by
+// the trace timeline when tracing is enabled. Nil-safe.
+func (o *Observer) WriteText(w io.Writer) error {
+	if o == nil {
+		return nil
+	}
+	if err := o.Registry.WriteText(w); err != nil {
+		return err
+	}
+	return o.Trace.WriteText(w)
+}

@@ -20,6 +20,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Kernel is a data-parallel computation over an index space. Do computes
@@ -114,15 +115,62 @@ func shardRange(n, workers, shard int) (int, int) {
 	return n * shard / workers, n * (shard + 1) / workers
 }
 
+// Pool observability counters (package-level, covering every pool; the
+// asyncmg deployments run one shared pool, so per-pool attribution is not
+// worth per-pool state). All are plain atomics — recording costs one
+// atomic add on a path that amortizes over a whole sharded kernel.
+var stats struct {
+	dispatches atomic.Int64 // kernels sharded across workers
+	serial     atomic.Int64 // kernels kept serial (below threshold or 1 worker)
+	inflight   atomic.Int64 // Run callers currently queued or running
+	maxDepth   atomic.Int64 // high-water mark of inflight
+	busyNS     atomic.Int64 // wall time spent inside parallel dispatches
+}
+
+// Stats is a point-in-time copy of the pool counters.
+type Stats struct {
+	// Dispatches counts kernels sharded across the workers; Serial counts
+	// kernels that ran on the caller (below the work threshold, or a
+	// one-worker pool).
+	Dispatches, Serial int64
+	// QueueDepth is the number of Run callers currently queued or running;
+	// MaxQueueDepth its high-water mark. A sustained depth above 1 means
+	// kernels are serializing behind the pool mutex.
+	QueueDepth, MaxQueueDepth int64
+	// BusyNS is the cumulative wall time (ns) spent inside parallel
+	// dispatches — divide by elapsed wall time for pool utilization.
+	BusyNS int64
+}
+
+// ReadStats returns the current pool counters.
+func ReadStats() Stats {
+	return Stats{
+		Dispatches:    stats.dispatches.Load(),
+		Serial:        stats.serial.Load(),
+		QueueDepth:    stats.inflight.Load(),
+		MaxQueueDepth: stats.maxDepth.Load(),
+		BusyNS:        stats.busyNS.Load(),
+	}
+}
+
 // Run executes k over [0, n) across all workers and returns when every
 // shard is done. The caller executes shard 0. Kernels must not call Run
 // on the same pool (the pool's mutex is not reentrant). Run performs no
 // heap allocation.
 func (p *Pool) Run(n int, k Kernel) {
 	if p == nil || p.workers == 1 || n <= 1 {
+		stats.serial.Add(1)
 		k.Do(0, 0, n)
 		return
 	}
+	depth := stats.inflight.Add(1)
+	for {
+		m := stats.maxDepth.Load()
+		if depth <= m || stats.maxDepth.CompareAndSwap(m, depth) {
+			break
+		}
+	}
+	start := time.Now()
 	p.mu.Lock()
 	p.k, p.n = k, n
 	for _, c := range p.wake {
@@ -137,6 +185,9 @@ func (p *Pool) Run(n int, k Kernel) {
 	}
 	p.k = nil
 	p.mu.Unlock()
+	stats.dispatches.Add(1)
+	stats.busyNS.Add(int64(time.Since(start)))
+	stats.inflight.Add(-1)
 }
 
 // Close stops the pool's worker goroutines. A closed pool must not be
@@ -173,7 +224,12 @@ func SetWorkers(n int) {
 
 // Par reports whether a kernel with the given total work should be
 // dispatched in parallel on the shared pool: the pool has more than one
-// worker and work meets the threshold.
+// worker and work meets the threshold. A false result is counted as a
+// serial kernel, so Stats covers every wrapper invocation.
 func Par(work int) bool {
-	return work >= Threshold() && Default().Workers() > 1
+	if work >= Threshold() && Default().Workers() > 1 {
+		return true
+	}
+	stats.serial.Add(1)
+	return false
 }

@@ -1,0 +1,59 @@
+package sparse
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzCSRFromCOO feeds arbitrary triplet streams through the COO → CSR
+// assembly path: conversion must never panic, and the result must satisfy
+// every structural invariant of the CSR contract (monotone row pointers,
+// strictly ascending in-range columns, consistent lengths) with exactly one
+// stored entry per distinct coordinate.
+//
+// The byte stream is decoded as [rows, cols, triplet...] with each triplet
+// ten bytes: row byte, column byte (reduced modulo the dimensions — Add
+// panics on out-of-range indices by contract, which is not what we are
+// testing), and a little-endian uint64 payload mapped to a finite value.
+func FuzzCSRFromCOO(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 3, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8})
+	// Duplicate coordinates: both triplets land on (1, 1).
+	f.Add([]byte{2, 2, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 1, 1, 2, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{255, 1, 7, 0, 0, 0, 0, 0, 0, 0, 1, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rows, cols := 1, 1
+		if len(data) >= 2 {
+			rows, cols = int(data[0])+1, int(data[1])+1
+			data = data[2:]
+		}
+		c := NewCOO(rows, cols, len(data)/10)
+		type key struct{ i, j int }
+		distinct := map[key]bool{}
+		for len(data) >= 10 {
+			i := int(data[0]) % rows
+			j := int(data[1]) % cols
+			bits := binary.LittleEndian.Uint64(data[2:10])
+			v := float64(int64(bits%2001) - 1000)
+			c.Add(i, j, v)
+			distinct[key{i, j}] = true
+			data = data[10:]
+		}
+		a := c.ToCSR()
+		if err := a.Validate(); err != nil {
+			t.Fatalf("ToCSR produced invalid CSR: %v", err)
+		}
+		if a.Rows != rows || a.Cols != cols {
+			t.Fatalf("shape changed: got %dx%d, want %dx%d", a.Rows, a.Cols, rows, cols)
+		}
+		if a.NNZ() != len(distinct) {
+			t.Fatalf("NNZ = %d, want one entry per distinct coordinate (%d)", a.NNZ(), len(distinct))
+		}
+		for k := range distinct {
+			if v := a.At(k.i, k.j); math.IsNaN(v) {
+				t.Fatalf("entry (%d,%d) became NaN", k.i, k.j)
+			}
+		}
+	})
+}

@@ -206,3 +206,53 @@ func TestAtomicAddRangeSkipsZeros(t *testing.T) {
 		t.Error("zero delta rewrote the stored -0")
 	}
 }
+
+func TestDiverged(t *testing.T) {
+	cases := []struct {
+		name   string
+		x      []float64
+		relres float64
+		want   bool
+	}{
+		{"converging", []float64{1, -2, 0.5}, 1e-9, false},
+		{"large but finite residual", []float64{1}, DivergedRelRes, false},
+		{"residual just past threshold", []float64{1}, DivergedRelRes * 1.0001, true},
+		{"NaN residual", []float64{1}, math.NaN(), true},
+		{"+Inf residual", []float64{1}, math.Inf(1), true},
+		{"-Inf residual", []float64{1}, math.Inf(-1), true},
+		{"NaN iterate", []float64{0, math.NaN(), 1}, 1e-3, true},
+		{"+Inf iterate", []float64{math.Inf(1)}, 1e-3, true},
+		{"-Inf iterate", []float64{math.Inf(-1)}, 1e-3, true},
+		{"NaN iterate and residual", []float64{math.NaN()}, math.NaN(), true},
+		{"empty iterate", nil, 0.5, false},
+		{"zero residual", []float64{0}, 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Diverged(tc.x, tc.relres); got != tc.want {
+				t.Errorf("Diverged(%v, %v) = %v, want %v", tc.x, tc.relres, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestHasNonFiniteTable(t *testing.T) {
+	cases := []struct {
+		name string
+		v    []float64
+		want bool
+	}{
+		{"nil", nil, false},
+		{"finite", []float64{1, -1e308, 1e-308, 0}, false},
+		{"leading NaN", []float64{math.NaN(), 0}, true},
+		{"trailing Inf", []float64{0, math.Inf(1)}, true},
+		{"negative Inf", []float64{math.Inf(-1)}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := HasNonFinite(tc.v); got != tc.want {
+				t.Errorf("HasNonFinite(%v) = %v, want %v", tc.v, got, tc.want)
+			}
+		})
+	}
+}
