@@ -174,6 +174,19 @@ func DefaultAMGOptions() AMGOptions { return amg.DefaultOptions() }
 // BuildHierarchy runs the AMG setup phase on a.
 func BuildHierarchy(a *Matrix, opt AMGOptions) (*Hierarchy, error) { return amg.Build(a, opt) }
 
+// SetupStats is the per-stage wall-time breakdown of one AMG setup
+// (strength graph, coarsening, interpolation, Galerkin products, coarse
+// factorization).
+type SetupStats = amg.SetupStats
+
+// BuildHierarchyWithStats is BuildHierarchy plus the per-stage timing
+// breakdown. The setup pipeline shards over the worker pool configured
+// by SetParallelKernels and is bitwise-identical to the serial path for
+// any worker count.
+func BuildHierarchyWithStats(a *Matrix, opt AMGOptions) (*Hierarchy, *SetupStats, error) {
+	return amg.BuildWithStats(a, opt)
+}
+
 // ---- Smoothers ----
 
 // SmootherKind identifies one of the four smoothers of the paper.

@@ -11,6 +11,7 @@
 //	mgbench -fig 4                         # 7pt and 27pt series
 //	mgbench -fig 5                         # mfem-laplace series
 //	mgbench -fig 6 -threads-list 4,8,16,32
+//	mgbench -setup -par-workers 8          # AMG setup-phase timing, serial vs parallel
 package main
 
 import (
@@ -37,6 +38,7 @@ func main() {
 
 	table := flag.Int("table", 0, "table to regenerate (1)")
 	fig := flag.Int("fig", 0, "figure to regenerate (4, 5 or 6)")
+	setup := flag.Bool("setup", false, "print the AMG setup-phase timing breakdown (serial vs parallel)")
 	all := flag.Bool("all", false, "regenerate Table I and Figures 4-6 in sequence")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	problem := flag.String("problem", "", "restrict to one problem family")
@@ -54,7 +56,7 @@ func main() {
 	par.SetWorkers(*parWorkers)
 	par.SetThreshold(*parThreshold)
 
-	if *table == 0 && *fig == 0 && !*all {
+	if *table == 0 && *fig == 0 && !*all && !*setup {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -94,6 +96,22 @@ func main() {
 		}
 	}
 	defer finish()
+
+	if *setup {
+		cfg := harness.DefaultSetupBreakdown()
+		if *problem != "" {
+			cfg.Problems = []string{*problem}
+		}
+		if *size > 0 {
+			cfg.Size = *size
+		}
+		cfg.Workers = *parWorkers
+		cfg.Observer = o
+		if err := harness.SetupBreakdown(os.Stdout, cfg); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *all {
 		run := func(args ...string) {

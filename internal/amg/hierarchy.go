@@ -2,6 +2,7 @@ package amg
 
 import (
 	"fmt"
+	"time"
 
 	"asyncmg/internal/dense"
 	"asyncmg/internal/sparse"
@@ -66,6 +67,11 @@ type Level struct {
 	// P prolongates from the next coarser level to this one; nil on the
 	// coarsest level.
 	P *sparse.CSR
+	// PT is the cached transpose of P, computed once during setup and
+	// shared between the Galerkin triple product and the solver-facing
+	// restriction view (the engine previously re-transposed P per level);
+	// nil on the coarsest level.
+	PT *sparse.CSR
 	// Types is the C/F splitting used to build P; nil on the coarsest.
 	Types []PointType
 }
@@ -92,21 +98,49 @@ func (h *Hierarchy) OperatorComplexity() float64 {
 	return float64(total) / float64(h.Levels[0].A.NNZ())
 }
 
+// SetupStats is the per-stage wall-time breakdown of one AMG setup. All
+// durations are cumulative across levels.
+type SetupStats struct {
+	// Total is the wall time of the whole setup phase.
+	Total time.Duration
+	// Strength covers strength-of-connection graph construction.
+	Strength time.Duration
+	// Coarsen covers the PMIS/HMIS (and aggressive second-pass) C/F splits.
+	Coarsen time.Duration
+	// Interp covers interpolation assembly including truncation.
+	Interp time.Duration
+	// RAP covers the cached P transpose plus the Galerkin triple product.
+	RAP time.Duration
+	// Factor covers the dense LU factorization of the coarsest operator.
+	Factor time.Duration
+	// Levels is the hierarchy depth produced.
+	Levels int
+}
+
 // Build runs the AMG setup phase on the fine-grid matrix a.
 func Build(a *sparse.CSR, opt Options) (*Hierarchy, error) {
+	h, _, err := BuildWithStats(a, opt)
+	return h, err
+}
+
+// BuildWithStats is Build plus a per-stage wall-time breakdown, feeding
+// the setup observability tables and benchmarks.
+func BuildWithStats(a *sparse.CSR, opt Options) (*Hierarchy, *SetupStats, error) {
 	if a.Rows != a.Cols {
-		return nil, fmt.Errorf("amg: matrix must be square, got %dx%d", a.Rows, a.Cols)
+		return nil, nil, fmt.Errorf("amg: matrix must be square, got %dx%d", a.Rows, a.Cols)
 	}
 	if opt.MaxLevels < 1 {
-		return nil, fmt.Errorf("amg: MaxLevels must be >= 1, got %d", opt.MaxLevels)
+		return nil, nil, fmt.Errorf("amg: MaxLevels must be >= 1, got %d", opt.MaxLevels)
 	}
+	st := &SetupStats{}
+	start := time.Now()
 	h := &Hierarchy{}
 	cur := a
 	// Function map for the unknown approach (nil for scalar problems).
 	var fun []int
 	if opt.NumFunctions > 1 {
 		if a.Rows%opt.NumFunctions != 0 {
-			return nil, fmt.Errorf("amg: %d rows not divisible by NumFunctions %d", a.Rows, opt.NumFunctions)
+			return nil, nil, fmt.Errorf("amg: %d rows not divisible by NumFunctions %d", a.Rows, opt.NumFunctions)
 		}
 		fun = make([]int, a.Rows)
 		for i := range fun {
@@ -118,14 +152,18 @@ func Build(a *sparse.CSR, opt Options) (*Hierarchy, error) {
 			h.Levels = append(h.Levels, Level{A: cur})
 			break
 		}
+		t0 := time.Now()
 		s := StrengthGraphFunc(cur, opt.Theta, fun)
+		st.Strength += time.Since(t0)
 		aggressive := lvl < opt.AggressiveLevels
+		t0 = time.Now()
 		var types []PointType
 		if aggressive {
 			types = CoarsenAggressive(s, opt.Coarsening, opt.Seed+int64(lvl))
 		} else {
 			types = Coarsen(s, opt.Coarsening, opt.Seed+int64(lvl))
 		}
+		st.Coarsen += time.Since(t0)
 		nc := CountC(types)
 		if nc == 0 || nc >= cur.Rows {
 			// Coarsening stalled; stop here.
@@ -136,12 +174,19 @@ func Build(a *sparse.CSR, opt Options) (*Hierarchy, error) {
 		if aggressive {
 			it = Multipass
 		}
+		t0 = time.Now()
 		p := BuildInterpolationFunc(cur, s, types, it, fun)
 		if opt.TruncMax > 0 || opt.TruncTol > 0 {
 			p = TruncateInterp(p, opt.TruncTol, opt.TruncMax)
 		}
-		next := sparse.RAP(cur, p)
-		h.Levels = append(h.Levels, Level{A: cur, P: p, Types: types})
+		st.Interp += time.Since(t0)
+		// One transpose per level, shared by the triple product here and
+		// by the engine's restriction view (which used to recompute it).
+		t0 = time.Now()
+		pt := p.Transpose()
+		next := sparse.RAPWith(cur, p, pt)
+		st.RAP += time.Since(t0)
+		h.Levels = append(h.Levels, Level{A: cur, P: p, PT: pt, Types: types})
 		// Coarse points inherit their fine point's function.
 		if fun != nil {
 			coarseFun := make([]int, 0, nc)
@@ -155,11 +200,15 @@ func Build(a *sparse.CSR, opt Options) (*Hierarchy, error) {
 		cur = next
 	}
 	// Factor the coarsest operator for exact solves.
+	t0 := time.Now()
 	lu, err := dense.Factor(h.Levels[len(h.Levels)-1].A)
 	if err == nil {
 		h.Coarse = lu
 	}
-	return h, nil
+	st.Factor = time.Since(t0)
+	st.Total = time.Since(start)
+	st.Levels = len(h.Levels)
+	return h, st, nil
 }
 
 // GridSizes returns the number of rows on each level, finest first.

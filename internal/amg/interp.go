@@ -3,6 +3,7 @@ package amg
 import (
 	"math"
 
+	"asyncmg/internal/par"
 	"asyncmg/internal/sparse"
 )
 
@@ -75,6 +76,24 @@ func BuildInterpolationFunc(a *sparse.CSR, s *Strength, types []PointType, typ I
 	}
 }
 
+// rowsToCSR assembles per-row staging buffers into a CSR matrix sized
+// exactly by a prefix sum over the row lengths (no append regrowth).
+// Rows keep their staged order, so the assembly is deterministic.
+func rowsToCSR(n, nc int, rowCols [][]int, rowVals [][]float64) *sparse.CSR {
+	p := &sparse.CSR{Rows: n, Cols: nc, RowPtr: make([]int, n+1)}
+	for i := 0; i < n; i++ {
+		p.RowPtr[i+1] = p.RowPtr[i] + len(rowCols[i])
+	}
+	nnz := p.RowPtr[n]
+	p.ColIdx = make([]int, nnz)
+	p.Vals = make([]float64, nnz)
+	for i := 0; i < n; i++ {
+		copy(p.ColIdx[p.RowPtr[i]:], rowCols[i])
+		copy(p.Vals[p.RowPtr[i]:], rowVals[i])
+	}
+	return p
+}
+
 // directInterp builds direct interpolation:
 //
 //	w_ij = -α_i a_ij / a_ii,  α_i = Σ_{k≠i} a_ik / Σ_{j∈C_i} a_ij
@@ -82,16 +101,41 @@ func BuildInterpolationFunc(a *sparse.CSR, s *Strength, types []PointType, typ I
 // which preserves row sums (interpolates constants exactly for zero-row-sum
 // operators). Rows with no strong C neighbour or a degenerate denominator
 // get an empty P row (no coarse correction for that point).
+//
+// The row loop is sharded over the kernel pool: each row reads only A,
+// the splitting and the strength sets (all read-only here) and writes its
+// own staging slice, so the result is bitwise-identical to serial.
 func directInterp(a *sparse.CSR, s *Strength, types []PointType, fun []int) *sparse.CSR {
 	cidx, nc := coarseIndex(types)
-	p := &sparse.CSR{Rows: a.Rows, Cols: nc, RowPtr: make([]int, a.Rows+1)}
-	isStrong := strongSet(s)
+	k := &directInterpKernel{
+		a: a, isStrong: strongSet(s), types: types, cidx: cidx, fun: fun,
+		rowCols: make([][]int, a.Rows), rowVals: make([][]float64, a.Rows),
+	}
+	if par.Par(a.NNZ()) {
+		par.Default().Run(a.Rows, k)
+	} else {
+		k.Do(0, 0, a.Rows)
+	}
+	return rowsToCSR(a.Rows, nc, k.rowCols, k.rowVals)
+}
+
+type directInterpKernel struct {
+	a        *sparse.CSR
+	isStrong func(i, j int) bool
+	types    []PointType
+	cidx     []int
+	fun      []int
+	rowCols  [][]int
+	rowVals  [][]float64
+}
+
+func (k *directInterpKernel) Do(_, lo, hi int) {
+	a, isStrong, types, cidx, fun := k.a, k.isStrong, k.types, k.cidx, k.fun
 	sameFun := func(i, j int) bool { return fun == nil || fun[i] == fun[j] }
-	for i := 0; i < a.Rows; i++ {
+	for i := lo; i < hi; i++ {
 		if types[i] == CPoint {
-			p.ColIdx = append(p.ColIdx, cidx[i])
-			p.Vals = append(p.Vals, 1)
-			p.RowPtr[i+1] = len(p.Vals)
+			k.rowCols[i] = []int{cidx[i]}
+			k.rowVals[i] = []float64{1}
 			continue
 		}
 		var diag, rowSum, cSum float64
@@ -111,7 +155,6 @@ func directInterp(a *sparse.CSR, s *Strength, types []PointType, fun []int) *spa
 			}
 		}
 		if diag == 0 || cSum == 0 {
-			p.RowPtr[i+1] = len(p.Vals)
 			continue
 		}
 		alpha := rowSum / cSum
@@ -121,12 +164,10 @@ func directInterp(a *sparse.CSR, s *Strength, types []PointType, fun []int) *spa
 				continue
 			}
 			w := -alpha * a.Vals[q] / diag
-			p.ColIdx = append(p.ColIdx, cidx[j])
-			p.Vals = append(p.Vals, w)
+			k.rowCols[i] = append(k.rowCols[i], cidx[j])
+			k.rowVals[i] = append(k.rowVals[i], w)
 		}
-		p.RowPtr[i+1] = len(p.Vals)
 	}
-	return p
 }
 
 // classicalInterp builds Ruge-Stüben classical interpolation with the
@@ -139,12 +180,38 @@ func directInterp(a *sparse.CSR, s *Strength, types []PointType, fun []int) *spa
 // (the modification that keeps the formula stable on non-M matrices). A
 // strong F neighbour k with no C point shared with i is lumped onto the
 // diagonal instead.
+// The row loop is sharded over the kernel pool: the slot/cols/wts
+// workspace is per-worker, every other input is read-only during the
+// sweep, and each row stages into its own slice — bitwise-identical to
+// serial for any worker count.
 func classicalInterp(a *sparse.CSR, s *Strength, types []PointType) *sparse.CSR {
 	cidx, nc := coarseIndex(types)
-	p := &sparse.CSR{Rows: a.Rows, Cols: nc, RowPtr: make([]int, a.Rows+1)}
-	isStrong := strongSet(s)
+	k := &classicalInterpKernel{
+		a: a, isStrong: strongSet(s), types: types, cidx: cidx,
+		rowCols: make([][]int, a.Rows), rowVals: make([][]float64, a.Rows),
+	}
+	if par.Par(a.NNZ()) {
+		par.Default().Run(a.Rows, k)
+	} else {
+		k.Do(0, 0, a.Rows)
+	}
+	return rowsToCSR(a.Rows, nc, k.rowCols, k.rowVals)
+}
 
-	// Workspace mapping coarse column -> accumulator slot for row i.
+type classicalInterpKernel struct {
+	a        *sparse.CSR
+	isStrong func(i, j int) bool
+	types    []PointType
+	cidx     []int
+	rowCols  [][]int
+	rowVals  [][]float64
+}
+
+func (k *classicalInterpKernel) Do(_, lo, hi int) {
+	a, isStrong, types, cidx := k.a, k.isStrong, k.types, k.cidx
+
+	// Per-worker workspace mapping coarse column -> accumulator slot for
+	// the current row.
 	slot := make([]int, a.Rows)
 	for i := range slot {
 		slot[i] = -1
@@ -152,11 +219,10 @@ func classicalInterp(a *sparse.CSR, s *Strength, types []PointType) *sparse.CSR 
 	var cols []int
 	var wts []float64
 
-	for i := 0; i < a.Rows; i++ {
+	for i := lo; i < hi; i++ {
 		if types[i] == CPoint {
-			p.ColIdx = append(p.ColIdx, cidx[i])
-			p.Vals = append(p.Vals, 1)
-			p.RowPtr[i+1] = len(p.Vals)
+			k.rowCols[i] = []int{cidx[i]}
+			k.rowVals[i] = []float64{1}
 			continue
 		}
 		cols = cols[:0]
@@ -222,8 +288,8 @@ func classicalInterp(a *sparse.CSR, s *Strength, types []PointType) *sparse.CSR 
 			for z, j := range cols {
 				w := wts[z] * inv
 				if w != 0 {
-					p.ColIdx = append(p.ColIdx, cidx[j])
-					p.Vals = append(p.Vals, w)
+					k.rowCols[i] = append(k.rowCols[i], cidx[j])
+					k.rowVals[i] = append(k.rowVals[i], w)
 				}
 			}
 			// Keep columns sorted: cols came from a sorted CSR row, and we
@@ -232,9 +298,7 @@ func classicalInterp(a *sparse.CSR, s *Strength, types []PointType) *sparse.CSR 
 		for _, j := range cols {
 			slot[j] = -1
 		}
-		p.RowPtr[i+1] = len(p.Vals)
 	}
-	return p
 }
 
 // multipassInterp builds Stüben multipass interpolation. C rows are
@@ -261,40 +325,18 @@ func multipassInterp(a *sparse.CSR, s *Strength, types []PointType, fun []int) *
 			done[i] = true
 		}
 	}
-	// Pass 1: direct interpolation.
-	for i := 0; i < n; i++ {
-		if done[i] {
-			continue
-		}
-		var diag, rowSum, cSum float64
-		for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
-			j := a.ColIdx[q]
-			v := a.Vals[q]
-			if j == i {
-				diag = v
-				continue
-			}
-			if !sameFun(i, j) {
-				continue
-			}
-			rowSum += v
-			if types[j] == CPoint && isStrong(i, j) {
-				cSum += v
-			}
-		}
-		if diag == 0 || cSum == 0 {
-			continue
-		}
-		alpha := rowSum / cSum
-		for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
-			j := a.ColIdx[q]
-			if j == i || types[j] != CPoint || !isStrong(i, j) {
-				continue
-			}
-			rowCols[i] = append(rowCols[i], cidx[j])
-			rowVals[i] = append(rowVals[i], -alpha*a.Vals[q]/diag)
-		}
-		done[i] = len(rowCols[i]) > 0
+	// Pass 1: direct interpolation. Rows are independent (each writes only
+	// its own stencil and done flag), so this pass shards over the kernel
+	// pool; the later passes read neighbours' stencils across rows and
+	// stay serial.
+	p1 := &multipassPass1Kernel{
+		a: a, isStrong: isStrong, types: types, cidx: cidx, fun: fun,
+		rowCols: rowCols, rowVals: rowVals, done: done,
+	}
+	if par.Par(a.NNZ()) {
+		par.Default().Run(n, p1)
+	} else {
+		p1.Do(0, 0, n)
 	}
 	// Later passes: compose through done strong neighbours.
 	acc := map[int]float64{}
@@ -355,14 +397,60 @@ func multipassInterp(a *sparse.CSR, s *Strength, types []PointType, fun []int) *
 			break
 		}
 	}
-	// Assemble CSR.
-	p := &sparse.CSR{Rows: n, Cols: nc, RowPtr: make([]int, n+1)}
-	for i := 0; i < n; i++ {
-		p.ColIdx = append(p.ColIdx, rowCols[i]...)
-		p.Vals = append(p.Vals, rowVals[i]...)
-		p.RowPtr[i+1] = len(p.Vals)
+	return rowsToCSR(n, nc, rowCols, rowVals)
+}
+
+// multipassPass1Kernel is the sharded first pass of multipass
+// interpolation: direct interpolation for every row with a strong C
+// neighbour.
+type multipassPass1Kernel struct {
+	a        *sparse.CSR
+	isStrong func(i, j int) bool
+	types    []PointType
+	cidx     []int
+	fun      []int
+	rowCols  [][]int
+	rowVals  [][]float64
+	done     []bool
+}
+
+func (k *multipassPass1Kernel) Do(_, lo, hi int) {
+	a, isStrong, types, cidx, fun := k.a, k.isStrong, k.types, k.cidx, k.fun
+	sameFun := func(i, j int) bool { return fun == nil || fun[i] == fun[j] }
+	for i := lo; i < hi; i++ {
+		if k.done[i] {
+			continue
+		}
+		var diag, rowSum, cSum float64
+		for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
+			j := a.ColIdx[q]
+			v := a.Vals[q]
+			if j == i {
+				diag = v
+				continue
+			}
+			if !sameFun(i, j) {
+				continue
+			}
+			rowSum += v
+			if types[j] == CPoint && isStrong(i, j) {
+				cSum += v
+			}
+		}
+		if diag == 0 || cSum == 0 {
+			continue
+		}
+		alpha := rowSum / cSum
+		for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
+			j := a.ColIdx[q]
+			if j == i || types[j] != CPoint || !isStrong(i, j) {
+				continue
+			}
+			k.rowCols[i] = append(k.rowCols[i], cidx[j])
+			k.rowVals[i] = append(k.rowVals[i], -alpha*a.Vals[q]/diag)
+		}
+		k.done[i] = len(k.rowCols[i]) > 0
 	}
-	return p
 }
 
 // strongSet returns a membership predicate over the strength graph with

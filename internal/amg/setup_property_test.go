@@ -1,0 +1,174 @@
+package amg
+
+import (
+	"testing"
+
+	"asyncmg/internal/fem"
+	"asyncmg/internal/grid"
+	"asyncmg/internal/par"
+	"asyncmg/internal/sparse"
+)
+
+// withSetupWorkers swaps the shared kernel pool to the given size and
+// lowers the dispatch threshold so test-sized setups take the sharded
+// path, restoring both on cleanup.
+func withSetupWorkers(t *testing.T, workers int) {
+	t.Helper()
+	oldThresh := par.Threshold()
+	par.SetThreshold(1)
+	par.SetWorkers(workers)
+	t.Cleanup(func() {
+		par.SetThreshold(oldThresh)
+		par.SetWorkers(0)
+	})
+}
+
+func csrEq(t *testing.T, name string, got, want *sparse.CSR) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols || got.NNZ() != want.NNZ() {
+		t.Fatalf("%s: shape/nnz %dx%d/%d, want %dx%d/%d",
+			name, got.Rows, got.Cols, got.NNZ(), want.Rows, want.Cols, want.NNZ())
+	}
+	for i := range want.RowPtr {
+		if got.RowPtr[i] != want.RowPtr[i] {
+			t.Fatalf("%s: RowPtr[%d] = %d, want %d", name, i, got.RowPtr[i], want.RowPtr[i])
+		}
+	}
+	for p := range want.Vals {
+		if got.ColIdx[p] != want.ColIdx[p] || got.Vals[p] != want.Vals[p] {
+			t.Fatalf("%s: entry %d = (%d, %v), want (%d, %v) — not bitwise-identical",
+				name, p, got.ColIdx[p], got.Vals[p], want.ColIdx[p], want.Vals[p])
+		}
+	}
+}
+
+func elasticityMatrix(t *testing.T) *sparse.CSR {
+	t.Helper()
+	prob, err := fem.AssembleElasticity(fem.BeamMesh(3), fem.DefaultBeamMaterials())
+	if err != nil {
+		t.Fatalf("assemble elasticity: %v", err)
+	}
+	return prob.A
+}
+
+// TestStrengthAndInterpBitwiseAcrossWorkers checks that the sharded
+// strength-graph and interpolation kernels reproduce the serial rows
+// bit for bit across worker counts 1, 2 and 8.
+func TestStrengthAndInterpBitwiseAcrossWorkers(t *testing.T) {
+	a := grid.Laplacian27pt(8)
+
+	// Serial references under a one-worker pool.
+	par.SetWorkers(1)
+	sRef := StrengthGraph(a, 0.25)
+	types := Coarsen(sRef, HMIS, 7)
+	pDirect := BuildInterpolation(a, sRef, types, Direct)
+	pClassical := BuildInterpolation(a, sRef, types, ClassicalModified)
+	typesAgg := CoarsenAggressive(sRef, HMIS, 7)
+	pMulti := BuildInterpolation(a, sRef, typesAgg, Multipass)
+	par.SetWorkers(0)
+
+	for _, workers := range []int{1, 2, 8} {
+		t.Run(map[int]string{1: "workers=1", 2: "workers=2", 8: "workers=8"}[workers], func(t *testing.T) {
+			withSetupWorkers(t, workers)
+			s := StrengthGraph(a, 0.25)
+			if s.NNZ() != sRef.NNZ() {
+				t.Fatalf("strength nnz %d, want %d", s.NNZ(), sRef.NNZ())
+			}
+			for i := range sRef.Rows {
+				if len(s.Rows[i]) != len(sRef.Rows[i]) {
+					t.Fatalf("strength row %d: %d neighbours, want %d", i, len(s.Rows[i]), len(sRef.Rows[i]))
+				}
+				for z := range sRef.Rows[i] {
+					if s.Rows[i][z] != sRef.Rows[i][z] {
+						t.Fatalf("strength row %d entry %d: %d, want %d", i, z, s.Rows[i][z], sRef.Rows[i][z])
+					}
+				}
+			}
+			csrEq(t, "direct", BuildInterpolation(a, s, types, Direct), pDirect)
+			csrEq(t, "classical-modified", BuildInterpolation(a, s, types, ClassicalModified), pClassical)
+			csrEq(t, "multipass", BuildInterpolation(a, s, typesAgg, Multipass), pMulti)
+		})
+	}
+}
+
+// TestBuildDeterministicAcrossWorkers is the end-to-end setup
+// determinism contract: Build on the 7pt stencil and on FEM elasticity
+// (unknown approach, NumFunctions=3) produces identical hierarchies —
+// operators, interpolants, cached transposes and C/F splittings — with
+// the parallel kernels on and off.
+func TestBuildDeterministicAcrossWorkers(t *testing.T) {
+	elOpt := DefaultOptions()
+	elOpt.NumFunctions = 3
+	elOpt.AggressiveLevels = 0
+	cases := []struct {
+		name string
+		a    *sparse.CSR
+		opt  Options
+	}{
+		{"7pt", grid.Laplacian7pt(10), DefaultOptions()},
+		{"elasticity", elasticityMatrix(t), elOpt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			par.SetWorkers(1)
+			ref, err := Build(tc.a, tc.opt)
+			par.SetWorkers(0)
+			if err != nil {
+				t.Fatalf("serial Build: %v", err)
+			}
+			for _, workers := range []int{2, 8} {
+				t.Run(map[int]string{2: "workers=2", 8: "workers=8"}[workers], func(t *testing.T) {
+					withSetupWorkers(t, workers)
+					h, err := Build(tc.a, tc.opt)
+					if err != nil {
+						t.Fatalf("parallel Build: %v", err)
+					}
+					if h.NumLevels() != ref.NumLevels() {
+						t.Fatalf("levels %d, want %d", h.NumLevels(), ref.NumLevels())
+					}
+					for k := range ref.Levels {
+						lv, lw := h.Levels[k], ref.Levels[k]
+						csrEq(t, "A", lv.A, lw.A)
+						if (lv.P == nil) != (lw.P == nil) {
+							t.Fatalf("level %d P nil mismatch", k)
+						}
+						if lw.P != nil {
+							csrEq(t, "P", lv.P, lw.P)
+							csrEq(t, "PT", lv.PT, lw.PT)
+						}
+						if len(lv.Types) != len(lw.Types) {
+							t.Fatalf("level %d Types length %d, want %d", k, len(lv.Types), len(lw.Types))
+						}
+						for i := range lw.Types {
+							if lv.Types[i] != lw.Types[i] {
+								t.Fatalf("level %d C/F split differs at %d: %v vs %v", k, i, lv.Types[i], lw.Types[i])
+							}
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestLevelPTMatchesTranspose pins the cached-transpose satellite: every
+// non-coarsest level of a built hierarchy carries PT, and it equals
+// P.Transpose() bit for bit.
+func TestLevelPTMatchesTranspose(t *testing.T) {
+	h, err := Build(grid.Laplacian7pt(8), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, lv := range h.Levels {
+		if lv.P == nil {
+			if lv.PT != nil {
+				t.Fatalf("level %d has PT without P", k)
+			}
+			continue
+		}
+		if lv.PT == nil {
+			t.Fatalf("level %d missing cached PT", k)
+		}
+		csrEq(t, "PT", lv.PT, lv.P.Transpose())
+	}
+}

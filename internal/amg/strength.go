@@ -6,7 +6,10 @@
 // hierarchy builder.
 package amg
 
-import "asyncmg/internal/sparse"
+import (
+	"asyncmg/internal/par"
+	"asyncmg/internal/sparse"
+)
 
 // Strength is the strong-connection graph of a matrix: Rows[i] lists the
 // columns j != i that strongly influence row i, sorted ascending.
@@ -36,8 +39,30 @@ func StrengthGraph(a *sparse.CSR, theta float64) *Strength {
 // fun == nil treats all rows as one function.
 func StrengthGraphFunc(a *sparse.CSR, theta float64, fun []int) *Strength {
 	s := &Strength{N: a.Rows, Rows: make([][]int, a.Rows)}
+	k := &strengthKernel{a: a, theta: theta, fun: fun, rows: s.Rows}
+	if par.Par(a.NNZ()) {
+		par.Default().Run(a.Rows, k)
+	} else {
+		k.Do(0, 0, a.Rows)
+	}
+	return s
+}
+
+// strengthKernel computes the strong-neighbour list of each row in
+// [lo, hi). Rows only read A (and fun) and write their own Rows[i]
+// slice, so the sharded result is identical to the serial one for any
+// worker count.
+type strengthKernel struct {
+	a     *sparse.CSR
+	theta float64
+	fun   []int
+	rows  [][]int
+}
+
+func (k *strengthKernel) Do(_, lo, hi int) {
+	a, theta, fun := k.a, k.theta, k.fun
 	sameFun := func(i, j int) bool { return fun == nil || fun[i] == fun[j] }
-	for i := 0; i < a.Rows; i++ {
+	for i := lo; i < hi; i++ {
 		maxNeg, maxAbs := 0.0, 0.0
 		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
 			j := a.ColIdx[p]
@@ -83,11 +108,10 @@ func StrengthGraphFunc(a *sparse.CSR, theta float64, fun []int) *Strength {
 				strong = -v >= thresh
 			}
 			if strong {
-				s.Rows[i] = append(s.Rows[i], j)
+				k.rows[i] = append(k.rows[i], j)
 			}
 		}
 	}
-	return s
 }
 
 // Transpose returns the influence-transpose graph: T.Rows[j] lists the rows

@@ -75,6 +75,11 @@ type Engine struct {
 	// Cfg is the smoother configuration used on every level.
 	Cfg smoother.Config
 
+	// Setup is the per-stage timing of the hierarchy build when this
+	// engine ran it (New); nil when the engine wrapped a pre-built
+	// hierarchy (NewFromHierarchy).
+	Setup *amg.SetupStats
+
 	// diag[k] caches A_k's diagonal; rowL1[k] its row ℓ1 norms (only
 	// populated when the smoother kind needs them). Both are shared with
 	// every smoother built through NewLevelSmoother, so repeated smoother
@@ -93,19 +98,31 @@ type Engine struct {
 }
 
 // SetObserver attaches a metrics observer to the engine's cycle methods.
-// Call it before solving; it must not race with running cycles.
-func (s *Engine) SetObserver(o *obs.Observer) { s.obs = o }
+// Call it before solving; it must not race with running cycles. If the
+// engine ran the AMG setup itself, the setup timing breakdown is
+// recorded into the observer's setup counters on attach.
+func (s *Engine) SetObserver(o *obs.Observer) {
+	s.obs = o
+	if st := s.Setup; st != nil {
+		o.SetupDone(st.Total, st.Strength, st.Coarsen, st.Interp, st.RAP, st.Factor)
+	}
+}
 
 // Observer returns the attached observer (nil when not set).
 func (s *Engine) Observer() *obs.Observer { return s.obs }
 
 // New builds the hierarchy for a and all solver operators.
 func New(a *sparse.CSR, amgOpt amg.Options, smoCfg smoother.Config) (*Engine, error) {
-	h, err := amg.Build(a, amgOpt)
+	h, st, err := amg.BuildWithStats(a, amgOpt)
 	if err != nil {
 		return nil, err
 	}
-	return NewFromHierarchy(h, smoCfg)
+	eng, err := NewFromHierarchy(h, smoCfg)
+	if err != nil {
+		return nil, err
+	}
+	eng.Setup = st
+	return eng, nil
 }
 
 // NewFromHierarchy builds solver operators on an existing hierarchy.
@@ -137,7 +154,13 @@ func NewFromHierarchy(h *amg.Hierarchy, smoCfg smoother.Config) (*Engine, error)
 	for k := 0; k < l-1; k++ {
 		p := h.Levels[k].P
 		s.P[k] = p
-		s.PT[k] = p.Transpose()
+		// The setup phase caches Pᵀ on the level (it already needed it for
+		// the Galerkin product); only hand-built hierarchies lack it.
+		if pt := h.Levels[k].PT; pt != nil {
+			s.PT[k] = pt
+		} else {
+			s.PT[k] = p.Transpose()
+		}
 		scale, err := smoother.InterpolantScalingWith(h.Levels[k].A, smoCfg, s.Pre(k))
 		if err != nil {
 			return nil, fmt.Errorf("mg: level %d interpolant scaling: %w", k, err)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"asyncmg/internal/par"
 	"asyncmg/internal/sparse"
 )
 
@@ -33,6 +34,75 @@ func tetGeometry(p0, p1, p2, p3 Vec3) (vol float64, grads [4]Vec3) {
 
 func dot3(a, b Vec3) float64 { return a.X*b.X + a.Y*b.Y + a.Z*b.Z }
 
+// elemShard is one worker's triplet staging buffer for sharded element
+// assembly, plus the first error its element range produced.
+type elemShard struct {
+	i, j []int
+	v    []float64
+	err  error
+}
+
+// elementKernel runs the per-element emit function over a contiguous
+// element range, staging triplets into the shard's own buffer in element
+// order. A shard stops at its first error (matching the serial
+// fail-fast contract; the partial output is discarded on error anyway).
+type elementKernel struct {
+	emit   func(t int, add func(i, j int, v float64)) error
+	shards []elemShard
+}
+
+func (k *elementKernel) Do(shard, lo, hi int) {
+	s := &k.shards[shard]
+	add := func(i, j int, v float64) {
+		s.i = append(s.i, i)
+		s.j = append(s.j, j)
+		s.v = append(s.v, v)
+	}
+	for t := lo; t < hi; t++ {
+		if err := k.emit(t, add); err != nil {
+			s.err = err
+			return
+		}
+	}
+}
+
+// assembleElements drives the per-element emit function over all nElems
+// elements, sharding across the kernel pool when the estimated work (in
+// emitted entries) warrants it. Shards cover contiguous ascending element
+// ranges and their buffers are concatenated in shard order, so the
+// triplet sequence handed to coo is exactly the serial one — COO.ToCSR
+// then sorts and sums duplicates identically, making the assembled CSR
+// bitwise-identical to serial assembly for any worker count. Errors
+// report the lowest-numbered failing element, as the serial loop would.
+func assembleElements(nElems, work int, coo *sparse.COO, emit func(t int, add func(i, j int, v float64)) error) error {
+	if !par.Par(work) {
+		add := coo.Add
+		for t := 0; t < nElems; t++ {
+			if err := emit(t, add); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	pool := par.Default()
+	w := pool.Workers()
+	k := &elementKernel{emit: emit, shards: make([]elemShard, w)}
+	pool.Run(nElems, k)
+	for shard := 0; shard < w; shard++ {
+		if lo, hi := par.ShardRange(nElems, w, shard); lo >= hi {
+			continue // shard never ran; its buffer is untouched
+		}
+		s := &k.shards[shard]
+		if s.err != nil {
+			return s.err
+		}
+		for z := range s.v {
+			coo.Add(s.i[z], s.j[z], s.v[z])
+		}
+	}
+	return nil
+}
+
 // Problem is an assembled and Dirichlet-reduced linear system A x = b plus
 // the bookkeeping needed to map solutions back onto the mesh.
 type Problem struct {
@@ -45,29 +115,37 @@ type Problem struct {
 
 // AssembleLaplace assembles the P1 stiffness matrix of -Δu on the mesh and
 // eliminates the Dirichlet boundary nodes symmetrically (homogeneous BCs).
+// Element stiffness computation shards over the kernel pool with a
+// deterministic ordered merge (see assembleElements).
 func AssembleLaplace(m *Mesh) (*Problem, error) {
 	n := len(m.Nodes)
 	free, freeIdx, nf := freeMap(m.Boundary, n, 1)
 	coo := sparse.NewCOO(nf, nf, 16*nf)
-	for _, tet := range m.Tets {
-		vol, g := tetGeometry(m.Nodes[tet[0]], m.Nodes[tet[1]], m.Nodes[tet[2]], m.Nodes[tet[3]])
-		if vol == 0 {
-			return nil, fmt.Errorf("fem: degenerate tetrahedron %v", tet)
-		}
-		av := math.Abs(vol)
-		for a := 0; a < 4; a++ {
-			ia := freeIdx[tet[a]]
-			if ia < 0 {
-				continue
+	err := assembleElements(len(m.Tets), 16*len(m.Tets), coo,
+		func(t int, add func(i, j int, v float64)) error {
+			tet := m.Tets[t]
+			vol, g := tetGeometry(m.Nodes[tet[0]], m.Nodes[tet[1]], m.Nodes[tet[2]], m.Nodes[tet[3]])
+			if vol == 0 {
+				return fmt.Errorf("fem: degenerate tetrahedron %v", tet)
 			}
-			for b := 0; b < 4; b++ {
-				ib := freeIdx[tet[b]]
-				if ib < 0 {
+			av := math.Abs(vol)
+			for a := 0; a < 4; a++ {
+				ia := freeIdx[tet[a]]
+				if ia < 0 {
 					continue
 				}
-				coo.Add(ia, ib, av*dot3(g[a], g[b]))
+				for b := 0; b < 4; b++ {
+					ib := freeIdx[tet[b]]
+					if ib < 0 {
+						continue
+					}
+					add(ia, ib, av*dot3(g[a], g[b]))
+				}
 			}
-		}
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return &Problem{A: coo.ToCSR(), FreeDOF: free, FullDOFs: n}, nil
 }
@@ -105,41 +183,47 @@ func AssembleElasticity(m *Mesh, materials []Material) (*Problem, error) {
 	}
 	free, freeIdx, nf := freeMap(bound, n, 1)
 	coo := sparse.NewCOO(nf, nf, 60*nf)
-	for t, tet := range m.Tets {
-		vol, g := tetGeometry(m.Nodes[tet[0]], m.Nodes[tet[1]], m.Nodes[tet[2]], m.Nodes[tet[3]])
-		if vol == 0 {
-			return nil, fmt.Errorf("fem: degenerate tetrahedron %v", tet)
-		}
-		av := math.Abs(vol)
-		mat := m.Material[t]
-		if mat < 0 || mat >= len(materials) {
-			return nil, fmt.Errorf("fem: tet %d references material %d, have %d materials", t, mat, len(materials))
-		}
-		lambda, mu := materials[mat].Lame()
-		for a := 0; a < 4; a++ {
-			ga := [3]float64{g[a].X, g[a].Y, g[a].Z}
-			for b := 0; b < 4; b++ {
-				gb := [3]float64{g[b].X, g[b].Y, g[b].Z}
-				gab := g[a].X*g[b].X + g[a].Y*g[b].Y + g[a].Z*g[b].Z
-				for i := 0; i < 3; i++ {
-					ia := freeIdx[3*tet[a]+i]
-					if ia < 0 {
-						continue
-					}
-					for j := 0; j < 3; j++ {
-						ib := freeIdx[3*tet[b]+j]
-						if ib < 0 {
+	err := assembleElements(len(m.Tets), 144*len(m.Tets), coo,
+		func(t int, add func(i, j int, v float64)) error {
+			tet := m.Tets[t]
+			vol, g := tetGeometry(m.Nodes[tet[0]], m.Nodes[tet[1]], m.Nodes[tet[2]], m.Nodes[tet[3]])
+			if vol == 0 {
+				return fmt.Errorf("fem: degenerate tetrahedron %v", tet)
+			}
+			av := math.Abs(vol)
+			mat := m.Material[t]
+			if mat < 0 || mat >= len(materials) {
+				return fmt.Errorf("fem: tet %d references material %d, have %d materials", t, mat, len(materials))
+			}
+			lambda, mu := materials[mat].Lame()
+			for a := 0; a < 4; a++ {
+				ga := [3]float64{g[a].X, g[a].Y, g[a].Z}
+				for b := 0; b < 4; b++ {
+					gb := [3]float64{g[b].X, g[b].Y, g[b].Z}
+					gab := g[a].X*g[b].X + g[a].Y*g[b].Y + g[a].Z*g[b].Z
+					for i := 0; i < 3; i++ {
+						ia := freeIdx[3*tet[a]+i]
+						if ia < 0 {
 							continue
 						}
-						v := lambda*ga[i]*gb[j] + mu*ga[j]*gb[i]
-						if i == j {
-							v += mu * gab
+						for j := 0; j < 3; j++ {
+							ib := freeIdx[3*tet[b]+j]
+							if ib < 0 {
+								continue
+							}
+							v := lambda*ga[i]*gb[j] + mu*ga[j]*gb[i]
+							if i == j {
+								v += mu * gab
+							}
+							add(ia, ib, av*v)
 						}
-						coo.Add(ia, ib, av*v)
 					}
 				}
 			}
-		}
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return &Problem{A: coo.ToCSR(), FreeDOF: free, FullDOFs: n}, nil
 }

@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"asyncmg/internal/amg"
+	"asyncmg/internal/obs"
+	"asyncmg/internal/par"
+	"asyncmg/internal/smoother"
+)
+
+// SetupBreakdownConfig parameterizes the setup-phase timing table: one
+// row pair (serial / parallel) per problem family, with the per-stage
+// wall-time breakdown of the AMG build and the problem assembly time.
+type SetupBreakdownConfig struct {
+	Problems []string
+	Size     int
+	Agg      int // aggressive coarsening levels
+	// Workers is the parallel worker-pool size (<= 0 selects GOMAXPROCS);
+	// the serial rows always run with one worker.
+	Workers int
+	// Observer, when non-nil, accumulates every timed setup through
+	// SetupDone (both serial and parallel runs).
+	Observer *obs.Observer
+}
+
+// DefaultSetupBreakdown covers the four problem generators of the
+// paper's evaluation at the harness's reduced scale.
+func DefaultSetupBreakdown() SetupBreakdownConfig {
+	return SetupBreakdownConfig{Problems: AllProblems(), Size: 12, Agg: 1}
+}
+
+// timedSetup assembles the problem and runs the AMG setup under the
+// current pool configuration, returning the assembly wall time and the
+// per-stage build breakdown.
+func timedSetup(problem string, size, agg int, o *obs.Observer) (time.Duration, *amg.SetupStats, error) {
+	t0 := time.Now()
+	a, err := BuildProblem(problem, size)
+	if err != nil {
+		return 0, nil, err
+	}
+	asm := time.Since(t0)
+	opt := PaperSetup(problem, agg, smoother.WJacobi)
+	_, st, err := amg.BuildWithStats(a, opt.AMG)
+	if err != nil {
+		return 0, nil, err
+	}
+	o.SetupDone(st.Total, st.Strength, st.Coarsen, st.Interp, st.RAP, st.Factor)
+	return asm, st, nil
+}
+
+// SetupBreakdown prints the setup-phase timing table: for each problem,
+// the stencil/FEM assembly time and the strength/coarsen/interp/RAP/
+// factor breakdown of the AMG build, measured serially (one worker) and
+// with the sharded kernels (cfg.Workers), plus the end-to-end speedup.
+// The parallel and serial hierarchies are bitwise-identical (enforced by
+// the setup determinism tests), so the table compares equal work.
+func SetupBreakdown(w io.Writer, cfg SetupBreakdownConfig) error {
+	prevWorkers := par.Default().Workers()
+	defer par.SetWorkers(prevWorkers)
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		par.SetWorkers(0)
+		workers = par.Default().Workers()
+	}
+	fmt.Fprintf(w, "# Setup breakdown (size=%d, agg=%d): wall time in ms, serial vs %d workers\n",
+		cfg.Size, cfg.Agg, workers)
+	fmt.Fprintf(w, "%-14s %-8s %9s %9s %9s %9s %9s %9s %9s %7s %8s\n",
+		"problem", "mode", "assemble", "strength", "coarsen", "interp", "rap", "factor", "total", "levels", "speedup")
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	for _, problem := range cfg.Problems {
+		par.SetWorkers(1)
+		asmS, stS, err := timedSetup(problem, cfg.Size, cfg.Agg, cfg.Observer)
+		if err != nil {
+			return err
+		}
+		par.SetWorkers(cfg.Workers)
+		asmP, stP, err := timedSetup(problem, cfg.Size, cfg.Agg, cfg.Observer)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-14s %-8s %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f %7d %8s\n",
+			problem, "serial", ms(asmS), ms(stS.Strength), ms(stS.Coarsen),
+			ms(stS.Interp), ms(stS.RAP), ms(stS.Factor), ms(stS.Total), stS.Levels, "")
+		speedup := float64(asmS+stS.Total) / float64(asmP+stP.Total)
+		fmt.Fprintf(w, "%-14s %-8s %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f %7d %7.2fx\n",
+			problem, "parallel", ms(asmP), ms(stP.Strength), ms(stP.Coarsen),
+			ms(stP.Interp), ms(stP.RAP), ms(stP.Factor), ms(stP.Total), stP.Levels, speedup)
+	}
+	return nil
+}

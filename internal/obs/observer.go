@@ -2,6 +2,7 @@ package obs
 
 import (
 	"io"
+	"time"
 
 	"asyncmg/internal/par"
 )
@@ -43,6 +44,14 @@ type Observer struct {
 	WatchdogFires, DivergenceResets        *Counter
 	Discarded, RetiredGrids, StaleSnapshot *Counter
 
+	// SetupBuilds counts AMG setup phases recorded through SetupDone; the
+	// *NS counters accumulate the per-stage wall time (nanoseconds) of
+	// those setups, matching amg.SetupStats stage for stage.
+	SetupBuilds                              *Counter
+	SetupTotalNS, SetupStrengthNS            *Counter
+	SetupCoarsenNS, SetupInterpNS            *Counter
+	SetupRAPNS, SetupFactorNS                *Counter
+
 	// Trace is the optional bounded event timeline (nil unless the
 	// observer was built WithTrace).
 	Trace *Tracer
@@ -68,6 +77,13 @@ func New(grids int) *Observer {
 		Discarded:        r.NewCounter("recovery_discarded_total"),
 		RetiredGrids:     r.NewCounter("recovery_retired_grids_total"),
 		StaleSnapshot:    r.NewCounter("stale_snapshot_drops_total"),
+		SetupBuilds:      r.NewCounter("setup_builds_total"),
+		SetupTotalNS:     r.NewCounter("setup_total_ns_total"),
+		SetupStrengthNS:  r.NewCounter("setup_strength_ns_total"),
+		SetupCoarsenNS:   r.NewCounter("setup_coarsen_ns_total"),
+		SetupInterpNS:    r.NewCounter("setup_interp_ns_total"),
+		SetupRAPNS:       r.NewCounter("setup_rap_ns_total"),
+		SetupFactorNS:    r.NewCounter("setup_factor_ns_total"),
 	}
 	// Worker-pool signals: callbacks folding par's package-level atomics
 	// into this registry at exposition time.
@@ -138,6 +154,22 @@ func (o *Observer) IterationDone(relres float64) {
 	}
 	o.CycleResiduals.Inc()
 	o.Trace.Record(EvIteration, -1, relres)
+}
+
+// SetupDone records one completed AMG setup phase with its per-stage
+// wall times (the amg.SetupStats breakdown; pass zero for stages that
+// did not run). Nil-safe like every recording method.
+func (o *Observer) SetupDone(total, strength, coarsen, interp, rap, factor time.Duration) {
+	if o == nil {
+		return
+	}
+	o.SetupBuilds.Inc()
+	o.SetupTotalNS.Add(int64(total))
+	o.SetupStrengthNS.Add(int64(strength))
+	o.SetupCoarsenNS.Add(int64(coarsen))
+	o.SetupInterpNS.Add(int64(interp))
+	o.SetupRAPNS.Add(int64(rap))
+	o.SetupFactorNS.Add(int64(factor))
 }
 
 // TraceEvent records an arbitrary event on the timeline (no counter).

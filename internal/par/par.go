@@ -115,6 +115,16 @@ func shardRange(n, workers, shard int) (int, int) {
 	return n * shard / workers, n * (shard + 1) / workers
 }
 
+// ShardRange returns the half-open index range [lo, hi) that worker
+// `shard` of a `workers`-wide pool receives for an n-element kernel. It
+// is exported for kernels that stage per-shard scratch (e.g. the
+// two-pass sparse GEMM and the FEM assembly merge), which must know
+// which shards will actually run — shards with lo >= hi are never
+// dispatched, so their scratch is never initialized.
+func ShardRange(n, workers, shard int) (lo, hi int) {
+	return shardRange(n, workers, shard)
+}
+
 // Pool observability counters (package-level, covering every pool; the
 // asyncmg deployments run one shared pool, so per-pool attribution is not
 // worth per-pool state). All are plain atomics — recording costs one

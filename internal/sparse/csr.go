@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"asyncmg/internal/par"
 )
 
 // CSR is a sparse matrix in compressed sparse row format.
@@ -222,12 +224,18 @@ func (a *CSR) ResidualRange(r, b, x []float64, lo, hi int) {
 }
 
 // Transpose returns Aᵀ as a new CSR matrix. The result has sorted rows by
-// construction (counting sort over rows of A).
+// construction (counting sort over rows of A). Large transposes shard the
+// count and scatter passes over the kernel pool (see transposePar); the
+// output is bitwise-identical either way.
 func (a *CSR) Transpose() *CSR {
 	t := &CSR{Rows: a.Cols, Cols: a.Rows,
 		RowPtr: make([]int, a.Cols+1),
 		ColIdx: make([]int, a.NNZ()),
 		Vals:   make([]float64, a.NNZ()),
+	}
+	if par.Par(a.NNZ()) {
+		a.transposePar(t)
+		return t
 	}
 	// Count entries per column of A.
 	for _, j := range a.ColIdx {
@@ -249,59 +257,24 @@ func (a *CSR) Transpose() *CSR {
 	return t
 }
 
-// MatMul computes the sparse product C = A B using a Gustavson row-merge
-// with a dense scatter workspace. Rows of C come out sorted.
-func MatMul(a, b *CSR) *CSR {
-	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("sparse: MatMul dimension mismatch: %dx%d times %dx%d",
-			a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	c := &CSR{Rows: a.Rows, Cols: b.Cols, RowPtr: make([]int, a.Rows+1)}
-	// Symbolic + numeric fused, one row at a time.
-	marker := make([]int, b.Cols)
-	for i := range marker {
-		marker[i] = -1
-	}
-	acc := make([]float64, b.Cols)
-	cols := make([]int, 0, 64)
-	for i := 0; i < a.Rows; i++ {
-		cols = cols[:0]
-		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
-			k := a.ColIdx[p]
-			av := a.Vals[p]
-			for q := b.RowPtr[k]; q < b.RowPtr[k+1]; q++ {
-				j := b.ColIdx[q]
-				if marker[j] != i {
-					marker[j] = i
-					acc[j] = 0
-					cols = append(cols, j)
-				}
-				acc[j] += av * b.Vals[q]
-			}
-		}
-		sort.Ints(cols)
-		for _, j := range cols {
-			c.ColIdx = append(c.ColIdx, j)
-			c.Vals = append(c.Vals, acc[j])
-		}
-		c.RowPtr[i+1] = len(c.Vals)
-	}
-	return c
-}
-
-// RAP computes the Galerkin coarse-grid operator A_c = Rᵀ·A·P with R = P,
-// i.e. A_c = Pᵀ A P, the triple product used at every AMG level.
-func RAP(a, p *CSR) *CSR {
-	ap := MatMul(a, p)
-	pt := p.Transpose()
-	return MatMul(pt, ap)
-}
-
 // DropSmall returns a copy of a with entries |v| <= tol removed (diagonal
 // entries are always kept). Used to post-filter near-zero fill-in from
-// sparse products such as the smoothed interpolants.
+// sparse products such as the smoothed interpolants. The output is sized
+// exactly by a counting pass, so no append regrowth occurs.
 func (a *CSR) DropSmall(tol float64) *CSR {
-	c := &CSR{Rows: a.Rows, Cols: a.Cols, RowPtr: make([]int, a.Rows+1)}
+	keep := 0
+	for i := 0; i < a.Rows; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if math.Abs(a.Vals[p]) > tol || a.ColIdx[p] == i {
+				keep++
+			}
+		}
+	}
+	c := &CSR{Rows: a.Rows, Cols: a.Cols,
+		RowPtr: make([]int, a.Rows+1),
+		ColIdx: make([]int, 0, keep),
+		Vals:   make([]float64, 0, keep),
+	}
 	for i := 0; i < a.Rows; i++ {
 		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
 			if math.Abs(a.Vals[p]) > tol || a.ColIdx[p] == i {
@@ -340,7 +313,14 @@ func addScaled(a, b *CSR, beta float64) *CSR {
 	if a.Rows != b.Rows || a.Cols != b.Cols {
 		panic("sparse: Add/Sub shape mismatch")
 	}
-	c := &CSR{Rows: a.Rows, Cols: a.Cols, RowPtr: make([]int, a.Rows+1)}
+	// nnz(A)+nnz(B) bounds the union of the two sparsity patterns, so the
+	// output never regrows (overlapping columns only make it smaller).
+	bound := a.NNZ() + b.NNZ()
+	c := &CSR{Rows: a.Rows, Cols: a.Cols,
+		RowPtr: make([]int, a.Rows+1),
+		ColIdx: make([]int, 0, bound),
+		Vals:   make([]float64, 0, bound),
+	}
 	for i := 0; i < a.Rows; i++ {
 		pa, pb := a.RowPtr[i], b.RowPtr[i]
 		ea, eb := a.RowPtr[i+1], b.RowPtr[i+1]

@@ -1,0 +1,7 @@
+#!/bin/sh
+# Regenerate BENCH_setup.json, the setup-phase benchmark baseline enforced
+# by CI (benchguard fails the build when allocs/op regresses above it).
+set -eu
+cd "$(dirname "$0")/.."
+go test -run '^$' -bench '^BenchmarkSetup$' -benchtime 20x . |
+	go run ./scripts/benchguard -write BENCH_setup.json

@@ -1,0 +1,168 @@
+// Command benchguard records and enforces benchmark baselines.
+//
+// It reads standard `go test -bench` output on stdin and either writes a
+// JSON baseline file (-write) or compares the run against a checked-in
+// baseline (-baseline), exiting non-zero when any benchmark's allocs/op
+// regresses beyond the tolerance. Times are recorded for reference but
+// never enforced — they are machine-dependent; allocation counts are
+// contracts.
+//
+// Usage:
+//
+//	go test -run '^$' -bench '^BenchmarkSetup$' -benchtime 20x . | \
+//	    go run ./scripts/benchguard -write BENCH_setup.json
+//	go test -run '^$' -bench '^BenchmarkSetup$' -benchtime 20x . | \
+//	    go run ./scripts/benchguard -baseline BENCH_setup.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+}
+
+type baseline struct {
+	Comment    string           `json:"_comment"`
+	Recorded   string           `json:"recorded"`
+	CPU        string           `json:"cpu"`
+	Go         string           `json:"go"`
+	Benchmarks map[string]entry `json:"benchmarks"`
+}
+
+// procsSuffix strips the -GOMAXPROCS suffix go test appends to benchmark
+// names when running with more than one P.
+var procsSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	write := flag.String("write", "", "write a new baseline JSON to this path")
+	base := flag.String("baseline", "", "compare the run against this baseline JSON")
+	tol := flag.Float64("tol", 0.10, "relative allocs/op headroom before a regression is reported")
+	slack := flag.Float64("slack", 16, "absolute allocs/op headroom added on top of -tol")
+	comment := flag.String("comment", defaultComment, "comment stored in the baseline (-write only)")
+	flag.Parse()
+	if (*write == "") == (*base == "") {
+		fmt.Fprintln(os.Stderr, "benchguard: exactly one of -write or -baseline is required")
+		os.Exit(2)
+	}
+
+	run, cpu, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(1)
+	}
+	if len(run) == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	if *write != "" {
+		b := baseline{
+			Comment:    *comment,
+			Recorded:   time.Now().UTC().Format("2006-01-02"),
+			CPU:        cpu,
+			Go:         runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+			Benchmarks: run,
+		}
+		buf, err := json.MarshalIndent(&b, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*write, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchguard: wrote %d benchmarks to %s\n", len(run), *write)
+		return
+	}
+
+	buf, err := os.ReadFile(*base)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(1)
+	}
+	var b baseline
+	if err := json.Unmarshal(buf, &b); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %s: %v\n", *base, err)
+		os.Exit(1)
+	}
+	failed := 0
+	for name, got := range run {
+		want, ok := b.Benchmarks[name]
+		if !ok {
+			fmt.Printf("benchguard: %s: no baseline entry (new benchmark, ok)\n", name)
+			continue
+		}
+		limit := want.AllocsPerOp*(1+*tol) + *slack
+		if got.AllocsPerOp > limit {
+			fmt.Printf("benchguard: FAIL %s: %.0f allocs/op, baseline %.0f (limit %.0f)\n",
+				name, got.AllocsPerOp, want.AllocsPerOp, limit)
+			failed++
+		} else {
+			fmt.Printf("benchguard: ok   %s: %.0f allocs/op (baseline %.0f)\n",
+				name, got.AllocsPerOp, want.AllocsPerOp)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %d benchmark(s) regressed allocs/op beyond baseline\n", failed)
+		os.Exit(1)
+	}
+}
+
+const defaultComment = "AMG setup-phase benchmark baseline (BenchmarkSetup in setup_bench_test.go): " +
+	"serial vs sharded setup for the paper's four matrices. Regenerate with scripts/bench_setup.sh. " +
+	"ns_per_op is machine-dependent reference only; allocs_per_op is the enforced contract " +
+	"(CI runs benchguard -baseline and fails on regression)."
+
+// parse reads `go test -bench` output, returning one entry per benchmark
+// plus the reported cpu line.
+func parse(sc *bufio.Scanner) (map[string]entry, string, error) {
+	out := map[string]entry{}
+	cpu := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "cpu:") {
+			cpu = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := procsSuffix.ReplaceAllString(fields[0], "")
+		var e entry
+		// fields[1] is the iteration count; the rest are value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, "", fmt.Errorf("bad value %q in line %q", fields[i], line)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				e.NsPerOp = v
+			case "allocs/op":
+				e.AllocsPerOp = v
+			case "B/op":
+				e.BytesPerOp = v
+			}
+		}
+		out[name] = e
+	}
+	return out, cpu, sc.Err()
+}
