@@ -21,7 +21,9 @@
 //     residual-based r-Multadd variant, and the paper's two stopping
 //     criteria;
 //   - an experiment harness that regenerates every table and figure of the
-//     paper's evaluation.
+//     paper's evaluation;
+//   - a solver service (cmd/mgserve) exposing the solvers over HTTP with
+//     hierarchy caching, batched multi-RHS solves and admission control.
 //
 // # Quick start
 //
@@ -60,6 +62,7 @@ import (
 	"asyncmg/internal/mtx"
 	"asyncmg/internal/obs"
 	"asyncmg/internal/par"
+	"asyncmg/internal/serve"
 	"asyncmg/internal/smoother"
 	"asyncmg/internal/sparse"
 	"asyncmg/internal/spectral"
@@ -239,6 +242,25 @@ func NewSetupFromHierarchy(h *Hierarchy, smoCfg SmootherConfig) (*Setup, error) 
 // and returns the final iterate and the relative-residual history.
 func SolveSync(s *Setup, m Method, b []float64, tmax int) (x []float64, hist []float64) {
 	return s.Solve(m, b, tmax)
+}
+
+// SolveSyncCtx is SolveSync with cancellation: the solve stops at the next
+// cycle boundary and returns ctx's error when ctx is cancelled or its
+// deadline passes. With a live context it reproduces SolveSync bit for
+// bit.
+func SolveSyncCtx(ctx context.Context, s *Setup, m Method, b []float64, tmax int) (x []float64, hist []float64, err error) {
+	return s.SolveCtx(ctx, m, b, tmax)
+}
+
+// SolveSyncBlock solves k right-hand sides at once. b packs the columns
+// row-major (b[i*k+c] is row i of column c) and x is packed the same way;
+// hists[c] is column c's relative-residual history. Column by column the
+// result is bitwise identical to k independent SolveSync calls: Mult and
+// Multadd run fused block kernels that traverse each matrix once per
+// level instead of k times, and methods without a block path fall back to
+// per-column solves.
+func SolveSyncBlock(ctx context.Context, s *Setup, m Method, b []float64, k, tmax int) (x []float64, hists [][]float64, err error) {
+	return s.SolveBlockCtx(ctx, m, b, k, tmax)
 }
 
 // ---- Asynchronous models (Section III) ----
@@ -459,6 +481,30 @@ func StartExecutionTrace(path string) (stop func() error, err error) { return ob
 
 // WriteMetricsFile writes o's exposition text to path (truncating).
 func WriteMetricsFile(path string, o *Observer) error { return obs.WriteMetricsFile(path, o) }
+
+// ---- Solver service ----
+
+// ServeConfig tunes the solver service (hierarchy-cache size, admission
+// queue bound, worker and batch limits, request deadlines). The zero
+// value picks sensible defaults.
+type ServeConfig = serve.Config
+
+// SolverServer is the solver-as-a-service HTTP server: POST /solve
+// (named problems) and POST /solve/matrix (MatrixMarket uploads, gzip
+// accepted) with an LRU cache of AMG hierarchies, multi-RHS request
+// batching over the block solve path, admission control with 429/503
+// backpressure, and /healthz + /metrics endpoints. See cmd/mgserve for
+// the standalone binary.
+type SolverServer = serve.Server
+
+// ServeSolveRequest is the JSON body of the service's /solve endpoint.
+type ServeSolveRequest = serve.SolveRequest
+
+// ServeSolveResponse is the JSON reply of the service's solve endpoints.
+type ServeSolveResponse = serve.SolveResponse
+
+// NewSolverServer builds a solver service from cfg.
+func NewSolverServer(cfg ServeConfig) *SolverServer { return serve.New(cfg) }
 
 // ---- Chaotic relaxation (Section II.C, Equation 5) ----
 

@@ -2,7 +2,11 @@ package asyncmg_test
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"asyncmg"
@@ -277,5 +281,81 @@ func TestPublicChaoticRelaxation(t *testing.T) {
 	}
 	if res.Diverged || res.RelRes > 1e-5 {
 		t.Errorf("chaotic relaxation relres %g", res.RelRes)
+	}
+}
+
+func TestPublicSolveSyncCtxAndBlock(t *testing.T) {
+	a := asyncmg.Laplacian7pt(6)
+	setup, err := asyncmg.NewSetup(a, asyncmg.DefaultAMGOptions(), asyncmg.DefaultSmoother())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := asyncmg.RandomRHS(a.Rows, 3)
+	refX, refH := asyncmg.SolveSync(setup, asyncmg.Mult, b, 10)
+	x, hist, err := asyncmg.SolveSyncCtx(context.Background(), setup, asyncmg.Mult, b, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range refH {
+		if hist[i] != refH[i] {
+			t.Fatalf("SolveSyncCtx hist[%d] = %v, want %v", i, hist[i], refH[i])
+		}
+	}
+	for i := range refX {
+		if x[i] != refX[i] {
+			t.Fatalf("SolveSyncCtx x[%d] = %v, want %v", i, x[i], refX[i])
+		}
+	}
+	// A block of two right-hand sides, column 0 = b: bitwise identical to
+	// the single-RHS solve, column by column.
+	const k = 2
+	b2 := asyncmg.RandomRHS(a.Rows, 4)
+	blk := make([]float64, a.Rows*k)
+	for i := 0; i < a.Rows; i++ {
+		blk[i*k] = b[i]
+		blk[i*k+1] = b2[i]
+	}
+	bx, hists, err := asyncmg.SolveSyncBlock(context.Background(), setup, asyncmg.Mult, blk, k, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range refH {
+		if hists[0][i] != refH[i] {
+			t.Fatalf("block hist[0][%d] = %v, want %v", i, hists[0][i], refH[i])
+		}
+	}
+	for i := range refX {
+		if bx[i*k] != refX[i] {
+			t.Fatalf("block x[%d] = %v, want %v", i, bx[i*k], refX[i])
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := asyncmg.SolveSyncCtx(ctx, setup, asyncmg.Mult, b, 10); err != context.Canceled {
+		t.Fatalf("cancelled SolveSyncCtx error = %v, want context.Canceled", err)
+	}
+}
+
+func TestPublicSolverServer(t *testing.T) {
+	srv := asyncmg.NewSolverServer(asyncmg.ServeConfig{Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	body, _ := json.Marshal(asyncmg.ServeSolveRequest{
+		Problem: "7pt", Size: 5, Method: "mult", Cycles: 8,
+	})
+	resp, err := http.Post(ts.URL+"/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out asyncmg.ServeSolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows != 125 || out.RelRes >= 1 || out.RelRes <= 0 {
+		t.Errorf("served solve: rows=%d relres=%g", out.Rows, out.RelRes)
 	}
 }

@@ -1,0 +1,357 @@
+// Block (multi-RHS) cycle path: one V-cycle over k packed right-hand
+// sides, streaming every level matrix once for all k columns. The solver
+// service batches concurrent requests that hit the same cached hierarchy
+// into one block solve here — the setup-once/solve-many throughput lever.
+//
+// The block cycles are bitwise-identical, column by column, to k
+// independent single-RHS cycles: each step is a block kernel with that
+// contract (see sparse/block.go), the coarse solve runs the same LU
+// arithmetic per gathered column, and residual histories use the same
+// serial Norm2 as Solve. The fused path covers Mult and Multadd with
+// diagonal smoothers (the default configuration); other methods and block
+// smoothers fall back to per-column solves, so SolveBlockCtx accepts any
+// configuration.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"asyncmg/internal/vec"
+)
+
+// BlockWorkspace holds the per-level scratch of one block cycle execution
+// for a fixed column count k. Not shareable between concurrent cycles.
+type BlockWorkspace struct {
+	k         int
+	r, e, tmp [][]float64
+	// colR/colE/colS are single-column gather buffers (finest-level
+	// sized) for the coarse LU solve and the per-column residual norms.
+	colR, colE, colS []float64
+}
+
+// K returns the column count the workspace was built for.
+func (w *BlockWorkspace) K() int { return w.k }
+
+// NewBlockWorkspace allocates block scratch for k packed columns.
+func (s *Engine) NewBlockWorkspace(k int) *BlockWorkspace {
+	if k <= 0 {
+		panic(fmt.Sprintf("mg: block workspace needs k >= 1, got %d", k))
+	}
+	l := s.NumLevels()
+	w := &BlockWorkspace{
+		k:   k,
+		r:   make([][]float64, l),
+		e:   make([][]float64, l),
+		tmp: make([][]float64, l),
+	}
+	for lev := 0; lev < l; lev++ {
+		n := s.LevelSize(lev)
+		w.r[lev] = make([]float64, n*k)
+		w.e[lev] = make([]float64, n*k)
+		w.tmp[lev] = make([]float64, n*k)
+	}
+	n := s.LevelSize(0)
+	w.colR = make([]float64, n)
+	w.colE = make([]float64, n)
+	w.colS = make([]float64, n)
+	return w
+}
+
+// AcquireBlockWorkspace returns a pooled block workspace for k columns;
+// pair with ReleaseBlockWorkspace. Contents are unspecified.
+func (s *Engine) AcquireBlockWorkspace(k int) *BlockWorkspace {
+	if w, _ := s.blockPool(k).Get().(*BlockWorkspace); w != nil {
+		return w
+	}
+	return s.NewBlockWorkspace(k)
+}
+
+// ReleaseBlockWorkspace returns w to the per-k pool. Workspaces built on a
+// different engine must not be released here (level sizes would disagree);
+// the pools live on the engine instance.
+func (s *Engine) ReleaseBlockWorkspace(w *BlockWorkspace) {
+	s.blockPool(w.k).Put(w)
+}
+
+// blockPool returns this engine's workspace pool for column count k,
+// creating it on first use (the service batches at a few fixed sizes, so
+// per-k pools stay small).
+func (s *Engine) blockPool(k int) *sync.Pool {
+	if p, ok := s.blockPools.Load(k); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := s.blockPools.LoadOrStore(k, &sync.Pool{})
+	return p.(*sync.Pool)
+}
+
+// CanBlockCycle reports whether method m has a fused block path on this
+// engine: Mult or Multadd with diagonal (Jacobi-type) smoothers on every
+// level. Other configurations still solve through SolveBlockCtx, but
+// column by column.
+func (s *Engine) CanBlockCycle(m Method) bool {
+	if m != Mult && m != Multadd {
+		return false
+	}
+	for _, sm := range s.Smo {
+		if sm.InvDiag() == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// blockScale computes e[i*k+c] = d[i] * r[i*k+c]: the zero-guess diagonal
+// smoother application, column by column.
+func blockScale(e, d, r []float64, k int) {
+	for i, di := range d {
+		ei := e[i*k : (i+1)*k]
+		ri := r[i*k : (i+1)*k]
+		for c := range ei {
+			ei[c] = di * ri[c]
+		}
+	}
+}
+
+// blockScaleAdd computes e[i*k+c] += d[i] * r[i*k+c]: the diagonal
+// smoother sweep update.
+func blockScaleAdd(e, d, r []float64, k int) {
+	for i, di := range d {
+		ei := e[i*k : (i+1)*k]
+		ri := r[i*k : (i+1)*k]
+		for c := range ei {
+			ei[c] += di * ri[c]
+		}
+	}
+}
+
+// blockCoarseSolve computes e = A_L⁻¹ r on the coarsest level for every
+// packed column, running the exact LU arithmetic per gathered column (or
+// the diagonal-smoother fallback when no factorization exists).
+func (s *Engine) blockCoarseSolve(e, r []float64, k int, w *BlockWorkspace) {
+	l := s.NumLevels()
+	n := s.LevelSize(l - 1)
+	if s.H.Coarse == nil {
+		if id := s.Smo[l-1].InvDiag(); id != nil {
+			blockScale(e, id, r, k)
+			return
+		}
+		// Block coarsest smoother: per-column apply (rare — only
+		// hand-built hierarchies lack the factorization).
+		for c := 0; c < k; c++ {
+			colR := w.colR[:n]
+			colE := w.colE[:n]
+			for i := 0; i < n; i++ {
+				colR[i] = r[i*k+c]
+			}
+			vec.Zero(colE)
+			s.Smo[l-1].Apply(colE, colR)
+			for i := 0; i < n; i++ {
+				e[i*k+c] = colE[i]
+			}
+		}
+		return
+	}
+	for c := 0; c < k; c++ {
+		colR := w.colR[:n]
+		colE := w.colE[:n]
+		for i := 0; i < n; i++ {
+			colR[i] = r[i*k+c]
+		}
+		s.H.Coarse.SolveScratch(colE, colR, w.colS)
+		for i := 0; i < n; i++ {
+			e[i*k+c] = colE[i]
+		}
+	}
+}
+
+// BlockMultCycle performs one multiplicative V(1,1)-cycle on k packed
+// right-hand sides, updating the packed iterate x in place. Requires
+// diagonal smoothers on every level (CanBlockCycle(Mult)).
+func (s *Engine) BlockMultCycle(x, b []float64, k int, w *BlockWorkspace) {
+	l := s.NumLevels()
+	s.H.Levels[0].A.ResidualBlockPar(w.r[0], b, x, k)
+	for lev := 0; lev < l-1; lev++ {
+		ak := s.H.Levels[lev].A
+		id := s.Smo[lev].InvDiag()
+		// Pre-smooth from zero guess, post-smoothing residual, restrict:
+		// the block form of the fused down-leg, step for step.
+		blockScale(w.e[lev], id, w.r[lev], k)
+		ak.ResidualBlockPar(w.tmp[lev], w.r[lev], w.e[lev], k)
+		s.PT[lev].MatVecBlockPar(w.r[lev+1], w.tmp[lev], k)
+		s.obs.Relaxed(lev, int64(k))
+	}
+	s.blockCoarseSolve(w.e[l-1], w.r[l-1], k, w)
+	s.obs.Relaxed(l-1, int64(k))
+	for lev := l - 2; lev >= 0; lev-- {
+		s.P[lev].MatVecAddBlockPar(w.e[lev], w.e[lev+1], k)
+		// Post-smoothing sweep e += D⁻¹ (r − A e).
+		ak := s.H.Levels[lev].A
+		ak.ResidualBlockPar(w.tmp[lev], w.r[lev], w.e[lev], k)
+		blockScaleAdd(w.e[lev], s.Smo[lev].InvDiag(), w.tmp[lev], k)
+		s.obs.Relaxed(lev, int64(k))
+	}
+	vec.AxpyPar(1, x, w.e[0])
+	s.countBlockCorrections(k)
+}
+
+// BlockMultaddCycle performs one additive Multadd V-cycle on k packed
+// right-hand sides. Requires diagonal smoothers (CanBlockCycle(Multadd)).
+func (s *Engine) BlockMultaddCycle(x, b []float64, k int, w *BlockWorkspace) {
+	l := s.NumLevels()
+	s.H.Levels[0].A.ResidualBlockPar(w.r[0], b, x, k)
+	for lev := 0; lev < l-1; lev++ {
+		s.PBarT[lev].MatVecBlockPar(w.r[lev+1], w.r[lev], k)
+	}
+	for lev := 0; lev < l; lev++ {
+		if lev == l-1 {
+			s.blockCoarseSolve(w.e[lev], w.r[lev], k, w)
+		} else {
+			blockScale(w.e[lev], s.Smo[lev].InvDiag(), w.r[lev], k)
+		}
+		s.obs.Relaxed(lev, int64(k))
+		cur := w.e[lev]
+		for j := lev - 1; j >= 0; j-- {
+			s.PBar[j].MatVecBlockPar(w.tmp[j], cur, k)
+			cur = w.tmp[j]
+		}
+		vec.AxpyPar(1, x, cur)
+	}
+	s.countBlockCorrections(k)
+}
+
+// countBlockCorrections records k applied corrections per grid (a block
+// cycle is k logical cycles).
+func (s *Engine) countBlockCorrections(k int) {
+	if s.obs == nil {
+		return
+	}
+	for lev := 0; lev < s.NumLevels(); lev++ {
+		for c := 0; c < k; c++ {
+			s.obs.Corrected(lev, 0)
+		}
+	}
+}
+
+// BlockCycle runs one block V-cycle of the chosen method. The method must
+// have a fused block path (CanBlockCycle).
+func (s *Engine) BlockCycle(m Method, x, b []float64, k int, w *BlockWorkspace) {
+	switch m {
+	case Mult:
+		s.BlockMultCycle(x, b, k, w)
+	case Multadd:
+		s.BlockMultaddCycle(x, b, k, w)
+	default:
+		panic(fmt.Sprintf("mg: method %v has no block cycle", m))
+	}
+}
+
+// SolveBlockCtx runs tmax V-cycles of method m on k packed right-hand
+// sides from x = 0 and returns the packed iterate plus one relative
+// residual history per column (hists[c][0] == 1). Results are
+// bitwise-identical to k independent SolveCtx calls, one per column: when
+// the method has a fused block path the cycles stream each level matrix
+// once for all columns; otherwise the columns solve sequentially. A
+// column whose iterate turns non-finite is frozen exactly where the
+// single-RHS solver would have stopped (its history ends there; the
+// remaining columns keep cycling). Cancelling ctx stops at the next cycle
+// boundary, returning the partial iterate and histories with ctx's error.
+func (s *Engine) SolveBlockCtx(ctx context.Context, m Method, b []float64, k, tmax int) (x []float64, hists [][]float64, err error) {
+	n := s.LevelSize(0)
+	if k <= 0 || len(b) != n*k {
+		return nil, nil, fmt.Errorf("mg: block solve needs len(b) == %d*%d, got %d", n, k, len(b))
+	}
+	x = make([]float64, n*k)
+	hists = make([][]float64, k)
+	if !s.CanBlockCycle(m) {
+		// Per-column fallback: gather each column, run the single-RHS
+		// solver, scatter back. Identical by construction.
+		for c := 0; c < k; c++ {
+			colB := make([]float64, n)
+			for i := range colB {
+				colB[i] = b[i*k+c]
+			}
+			colX, hist, cerr := s.SolveCtx(ctx, m, colB, tmax)
+			for i, v := range colX {
+				x[i*k+c] = v
+			}
+			hists[c] = hist
+			if cerr != nil {
+				return x, hists, cerr
+			}
+		}
+		return x, hists, nil
+	}
+
+	w := s.AcquireBlockWorkspace(k)
+	defer s.ReleaseBlockWorkspace(w)
+	nb := make([]float64, k)
+	for c := 0; c < k; c++ {
+		col := w.colR[:n]
+		for i := range col {
+			col[i] = b[i*k+c]
+		}
+		nb[c] = vec.Norm2(col)
+		if nb[c] == 0 {
+			nb[c] = 1
+		}
+		h := make([]float64, 1, tmax+1)
+		h[0] = 1
+		hists[c] = h
+	}
+	var frozen []bool
+	var saved []float64
+	rblk := make([]float64, n*k)
+	for t := 0; t < tmax; t++ {
+		if err := ctx.Err(); err != nil {
+			return x, hists, err
+		}
+		s.BlockCycle(m, x, b, k, w)
+		if frozen != nil {
+			// Columns stopped by divergence keep the iterate they stopped
+			// with: restore them after the block cycle (columns never
+			// interact, so the live columns are unaffected).
+			for c, fr := range frozen {
+				if fr {
+					for i := 0; i < n; i++ {
+						x[i*k+c] = saved[i*k+c]
+					}
+				}
+			}
+		}
+		s.H.Levels[0].A.ResidualBlockPar(rblk, b, x, k)
+		for c := 0; c < k; c++ {
+			if frozen != nil && frozen[c] {
+				continue
+			}
+			col := w.colR[:n]
+			for i := range col {
+				col[i] = rblk[i*k+c]
+			}
+			rel := vec.Norm2(col) / nb[c]
+			hists[c] = append(hists[c], rel)
+			s.obs.CycleDone(rel)
+			for i := range col {
+				col[i] = x[i*k+c]
+			}
+			if vec.HasNonFinite(col) {
+				if frozen == nil {
+					frozen = make([]bool, k)
+					saved = make([]float64, n*k)
+				}
+				frozen[c] = true
+				for i := 0; i < n; i++ {
+					saved[i*k+c] = x[i*k+c]
+				}
+			}
+		}
+	}
+	return x, hists, nil
+}
+
+// SolveBlock is SolveBlockCtx without cancellation.
+func (s *Engine) SolveBlock(m Method, b []float64, k, tmax int) (x []float64, hists [][]float64) {
+	x, hists, _ = s.SolveBlockCtx(context.Background(), m, b, k, tmax)
+	return x, hists
+}

@@ -1,0 +1,175 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"asyncmg/internal/amg"
+	"asyncmg/internal/grid"
+	"asyncmg/internal/par"
+	"asyncmg/internal/smoother"
+)
+
+func withEngineWorkers(t *testing.T, workers int) {
+	t.Helper()
+	oldThresh := par.Threshold()
+	par.SetThreshold(1)
+	par.SetWorkers(workers)
+	t.Cleanup(func() {
+		par.SetThreshold(oldThresh)
+		par.SetWorkers(0)
+	})
+}
+
+// TestSolveBlockBitwiseMatchesSerialSolves is the batching contract: a
+// block solve over k packed right-hand sides returns, column by column,
+// exactly the iterate and residual history of k independent single-RHS
+// solves — at any worker count, for both fused-block methods.
+func TestSolveBlockBitwiseMatchesSerialSolves(t *testing.T) {
+	a := grid.Laplacian7pt(8)
+	s, err := New(a, amg.DefaultOptions(), smoother.DefaultConfig())
+	if err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	n := a.Rows
+	const k, tmax = 5, 8
+	cols := make([][]float64, k)
+	for c := range cols {
+		cols[c] = grid.RandomRHS(n, int64(100+c))
+	}
+	b := make([]float64, n*k)
+	for c, col := range cols {
+		for i, v := range col {
+			b[i*k+c] = v
+		}
+	}
+	for _, m := range []Method{Mult, Multadd} {
+		if !s.CanBlockCycle(m) {
+			t.Fatalf("%v: expected a fused block path with the default smoother", m)
+		}
+		// Serial references, computed on the default pool.
+		refX := make([][]float64, k)
+		refH := make([][]float64, k)
+		for c := 0; c < k; c++ {
+			refX[c], refH[c] = s.Solve(m, cols[c], tmax)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			withEngineWorkers(t, workers)
+			x, hists := s.SolveBlock(m, b, k, tmax)
+			for c := 0; c < k; c++ {
+				if len(hists[c]) != len(refH[c]) {
+					t.Fatalf("%v workers=%d col %d: history length %d, want %d", m, workers, c, len(hists[c]), len(refH[c]))
+				}
+				for i := range refH[c] {
+					if hists[c][i] != refH[c][i] {
+						t.Fatalf("%v workers=%d col %d: history[%d] = %v, want %v", m, workers, c, i, hists[c][i], refH[c][i])
+					}
+				}
+				for i := range refX[c] {
+					if x[i*k+c] != refX[c][i] {
+						t.Fatalf("%v workers=%d col %d: x[%d] = %v, want %v", m, workers, c, i, x[i*k+c], refX[c][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSolveBlockFallbackColumns covers the per-column fallback: methods
+// without a fused block path (AFACx) and block smoothers still produce
+// exactly the single-RHS results.
+func TestSolveBlockFallbackColumns(t *testing.T) {
+	a := grid.Laplacian7pt(6)
+	s, err := New(a, amg.DefaultOptions(), smoother.Config{Kind: smoother.HybridJGS, Omega: 0.9, Blocks: 2})
+	if err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	if s.CanBlockCycle(Mult) {
+		t.Fatal("block smoother should not have a fused block path")
+	}
+	n := a.Rows
+	const k, tmax = 3, 5
+	b := make([]float64, n*k)
+	cols := make([][]float64, k)
+	for c := range cols {
+		cols[c] = grid.RandomRHS(n, int64(7+c))
+		for i, v := range cols[c] {
+			b[i*k+c] = v
+		}
+	}
+	x, hists := s.SolveBlock(Mult, b, k, tmax)
+	for c := 0; c < k; c++ {
+		refX, refH := s.Solve(Mult, cols[c], tmax)
+		for i := range refH {
+			if hists[c][i] != refH[i] {
+				t.Fatalf("col %d history[%d] = %v, want %v", c, i, hists[c][i], refH[i])
+			}
+		}
+		for i := range refX {
+			if x[i*k+c] != refX[i] {
+				t.Fatalf("col %d x[%d] = %v, want %v", c, i, x[i*k+c], refX[i])
+			}
+		}
+	}
+}
+
+// TestSolveCtxCancel checks the ctx plumbing of the synchronous solve
+// loop: an expired context stops the solve at a cycle boundary with the
+// context's error, and a live one reproduces Solve bit for bit.
+func TestSolveCtxCancel(t *testing.T) {
+	a := grid.Laplacian7pt(6)
+	s, err := New(a, amg.DefaultOptions(), smoother.DefaultConfig())
+	if err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	b := grid.RandomRHS(a.Rows, 3)
+	refX, refH := s.Solve(Mult, b, 6)
+	x, hist, err := s.SolveCtx(context.Background(), Mult, b, 6)
+	if err != nil {
+		t.Fatalf("SolveCtx: %v", err)
+	}
+	for i := range refH {
+		if hist[i] != refH[i] {
+			t.Fatalf("history[%d] = %v, want %v", i, hist[i], refH[i])
+		}
+	}
+	for i := range refX {
+		if x[i] != refX[i] {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], refX[i])
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, hist, err = s.SolveCtx(ctx, Mult, b, 6)
+	if err != context.Canceled {
+		t.Fatalf("cancelled SolveCtx error = %v, want context.Canceled", err)
+	}
+	if len(hist) != 1 {
+		t.Fatalf("cancelled SolveCtx ran %d cycles, want 0", len(hist)-1)
+	}
+	_, _, err = s.SolveBlockCtx(ctx, Mult, b[:0+a.Rows*1], 1, 6)
+	if err != context.Canceled {
+		t.Fatalf("cancelled SolveBlockCtx error = %v, want context.Canceled", err)
+	}
+}
+
+// TestBlockWorkspacePoolReuse checks the per-k pool recycles workspaces.
+func TestBlockWorkspacePoolReuse(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under -race by design; pooled reuse does not hold")
+	}
+	s := allocTestEngine(t)
+	w := s.AcquireBlockWorkspace(4)
+	if w.K() != 4 {
+		t.Fatalf("workspace k = %d, want 4", w.K())
+	}
+	s.ReleaseBlockWorkspace(w)
+	w2 := s.AcquireBlockWorkspace(4)
+	if w2 != w {
+		t.Error("expected the pooled workspace back for the same k")
+	}
+	w8 := s.AcquireBlockWorkspace(8)
+	if w8 == w2 || w8.K() != 8 {
+		t.Errorf("k=8 workspace should be fresh, got k=%d", w8.K())
+	}
+}

@@ -10,6 +10,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -229,6 +230,16 @@ func (s *Engine) BPXCycle(x, b []float64, w *Workspace) {
 // uses the serial Norm2, so it is bit-stable regardless of the parallel
 // kernel configuration.
 func (s *Engine) Solve(m Method, b []float64, tmax int) (x []float64, hist []float64) {
+	x, hist, _ = s.SolveCtx(context.Background(), m, b, tmax)
+	return x, hist
+}
+
+// SolveCtx is Solve with cancellation: ctx is checked at every cycle
+// boundary, and when it is cancelled (or its deadline passes) the solve
+// stops and returns the partial iterate and history together with ctx's
+// error. The iterate and history are bitwise-identical to Solve's for the
+// cycles that did run.
+func (s *Engine) SolveCtx(ctx context.Context, m Method, b []float64, tmax int) (x []float64, hist []float64, err error) {
 	n := s.LevelSize(0)
 	x = make([]float64, n)
 	w := s.AcquireWorkspace()
@@ -241,6 +252,9 @@ func (s *Engine) Solve(m Method, b []float64, tmax int) (x []float64, hist []flo
 	hist = make([]float64, 1, tmax+1)
 	hist[0] = 1
 	for t := 0; t < tmax; t++ {
+		if err := ctx.Err(); err != nil {
+			return x, hist, err
+		}
 		s.Cycle(m, x, b, w)
 		s.H.Levels[0].A.ResidualPar(r, b, x)
 		rel := vec.Norm2(r) / nb
@@ -250,7 +264,7 @@ func (s *Engine) Solve(m Method, b []float64, tmax int) (x []float64, hist []flo
 			break
 		}
 	}
-	return x, hist
+	return x, hist, nil
 }
 
 // MultaddCycleSymmetrized performs one Multadd V-cycle with the symmetrized

@@ -7,6 +7,7 @@ package mtx
 
 import (
 	"bufio"
+	"compress/gzip"
 	"fmt"
 	"io"
 	"os"
@@ -113,14 +114,33 @@ func Read(r io.Reader) (*sparse.CSR, error) {
 	return coo.ToCSR(), nil
 }
 
-// ReadFile reads a Matrix Market file from disk.
+// ReadMaybeGzip reads a Matrix Market stream that may be gzip-compressed,
+// sniffing the two-byte gzip magic number instead of trusting a name or
+// header. Plain streams pass through untouched.
+func ReadMaybeGzip(r io.Reader) (*sparse.CSR, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(2)
+	if err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("mtx: gzip: %w", err)
+		}
+		defer zr.Close()
+		return Read(zr)
+	}
+	return Read(br)
+}
+
+// ReadFile reads a Matrix Market file from disk. Files ending in ".gz"
+// (and any file starting with the gzip magic bytes) are decompressed
+// transparently.
 func ReadFile(path string) (*sparse.CSR, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return Read(f)
+	return ReadMaybeGzip(f)
 }
 
 // Write emits a in Matrix Market coordinate/real/general format.

@@ -2,6 +2,7 @@ package mtx
 
 import (
 	"bytes"
+	"compress/gzip"
 	"math"
 	"os"
 	"path/filepath"
@@ -182,5 +183,56 @@ func TestValuesPreservedExactly(t *testing.T) {
 	}
 	if back.At(0, 0) != 0.1+0.2 {
 		t.Errorf("value not bit-exact: %v", back.At(0, 0))
+	}
+}
+
+func TestGzipRoundTrip(t *testing.T) {
+	a := grid.Laplacian7pt(4)
+	var plain bytes.Buffer
+	if err := Write(&plain, a); err != nil {
+		t.Fatal(err)
+	}
+	var zipped bytes.Buffer
+	zw := gzip.NewWriter(&zipped)
+	if _, err := zw.Write(plain.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sniffed stream decompression.
+	back, err := ReadMaybeGzip(bytes.NewReader(zipped.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadMaybeGzip(gzip): %v", err)
+	}
+	if back.Rows != a.Rows || back.NNZ() != a.NNZ() {
+		t.Fatalf("gzip round trip changed shape: %dx%d nnz %d", back.Rows, back.Cols, back.NNZ())
+	}
+	// Plain streams pass through ReadMaybeGzip untouched.
+	if _, err := ReadMaybeGzip(bytes.NewReader(plain.Bytes())); err != nil {
+		t.Fatalf("ReadMaybeGzip(plain): %v", err)
+	}
+
+	// .gz file path.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.mtx.gz")
+	if err := os.WriteFile(path, zipped.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err = ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile(.gz): %v", err)
+	}
+	if back.Rows != a.Rows || back.NNZ() != a.NNZ() {
+		t.Fatalf("gzip file round trip changed shape")
+	}
+	// Truncated gzip must error, not hang or panic.
+	trunc := filepath.Join(dir, "trunc.mtx.gz")
+	if err := os.WriteFile(trunc, zipped.Bytes()[:10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(trunc); err == nil {
+		t.Fatal("truncated gzip: want error")
 	}
 }

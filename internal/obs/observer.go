@@ -47,15 +47,28 @@ type Observer struct {
 	// SetupBuilds counts AMG setup phases recorded through SetupDone; the
 	// *NS counters accumulate the per-stage wall time (nanoseconds) of
 	// those setups, matching amg.SetupStats stage for stage.
-	SetupBuilds                              *Counter
-	SetupTotalNS, SetupStrengthNS            *Counter
-	SetupCoarsenNS, SetupInterpNS            *Counter
-	SetupRAPNS, SetupFactorNS                *Counter
+	SetupBuilds                   *Counter
+	SetupTotalNS, SetupStrengthNS *Counter
+	SetupCoarsenNS, SetupInterpNS *Counter
+	SetupRAPNS, SetupFactorNS     *Counter
+
+	// Serving counters of the solver service (package serve): hierarchy
+	// setup-cache traffic, batched multi-RHS solve sizes, admission-queue
+	// depth, and requests rejected by admission control (backpressure or
+	// drain). Zero-valued and harmless for non-serving solves.
+	CacheHits, CacheMisses, CacheEvictions *Counter
+	BatchSizes                             *Histogram
+	QueueDepth                             *Gauge
+	Rejected, Requests                     *Counter
 
 	// Trace is the optional bounded event timeline (nil unless the
 	// observer was built WithTrace).
 	Trace *Tracer
 }
+
+// DefaultBatchBounds is the bucket layout for batched solve sizes
+// (requests coalesced per block solve).
+func DefaultBatchBounds() []int64 { return []int64{1, 2, 4, 8, 16, 32} }
 
 // New builds an observer for a solve over `grids` grids (hierarchy
 // levels). Pass the hierarchy depth; out-of-range grid indices are
@@ -84,6 +97,13 @@ func New(grids int) *Observer {
 		SetupInterpNS:    r.NewCounter("setup_interp_ns_total"),
 		SetupRAPNS:       r.NewCounter("setup_rap_ns_total"),
 		SetupFactorNS:    r.NewCounter("setup_factor_ns_total"),
+		CacheHits:        r.NewCounter("serve_cache_hits_total"),
+		CacheMisses:      r.NewCounter("serve_cache_misses_total"),
+		CacheEvictions:   r.NewCounter("serve_cache_evictions_total"),
+		BatchSizes:       r.NewHistogram("serve_batch_size", DefaultBatchBounds()),
+		QueueDepth:       r.NewGauge("serve_queue_depth"),
+		Rejected:         r.NewCounter("serve_rejected_total"),
+		Requests:         r.NewCounter("serve_requests_total"),
 	}
 	// Worker-pool signals: callbacks folding par's package-level atomics
 	// into this registry at exposition time.

@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"net/url"
+	"testing"
+)
+
+// FuzzParseSolveRequest is the decoder's no-panic contract: the /solve
+// body is the service's untrusted-input surface, and whatever arrives,
+// parsing must return a spec or an error — never panic, never produce a
+// spec that violates the documented bounds.
+func FuzzParseSolveRequest(f *testing.F) {
+	f.Add([]byte(`{"problem":"7pt","size":8}`))
+	f.Add([]byte(`{"problem":"27pt","size":6,"method":"mult","smoother":"l1-jacobi","omega":0.8}`))
+	f.Add([]byte(`{"problem":"mfem-laplace","size":8,"mode":"async","threads":4,"cycles":12}`))
+	f.Add([]byte(`{"problem":"7pt","size":4,"rhs":[1,2,3],"seed":9,"timeout_ms":100,"no_batch":true}`))
+	f.Add([]byte(`{"problem":"7pt","size":1e9}`))
+	f.Add([]byte(`{"size":-1}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"problem":"7pt","size":8,"omega":"NaN"}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		sp, err := parseSolveRequest(body)
+		if err != nil {
+			if sp != nil {
+				t.Fatal("error with non-nil spec")
+			}
+			return
+		}
+		if sp.cycles < 1 || sp.cycles > maxCycles {
+			t.Fatalf("validated spec has cycles %d", sp.cycles)
+		}
+		if sp.threads < 1 || sp.threads > maxThreads {
+			t.Fatalf("validated spec has threads %d", sp.threads)
+		}
+		if sp.problem != "" && (sp.size < 2 || sp.size > maxSize) {
+			t.Fatalf("validated spec has size %d", sp.size)
+		}
+		switch sp.mode {
+		case ModeSync, ModeAsync, ModeDist:
+		default:
+			t.Fatalf("validated spec has mode %q", sp.mode)
+		}
+		if sp.timeout < 0 {
+			t.Fatalf("validated spec has negative timeout %v", sp.timeout)
+		}
+	})
+}
+
+// FuzzSpecFromQuery fuzzes the upload endpoint's query-string decoder.
+func FuzzSpecFromQuery(f *testing.F) {
+	f.Add("method=mult&cycles=5&seed=2")
+	f.Add("smoother=l1-jacobi&omega=0.7&mode=dist&timeout_ms=50")
+	f.Add("omega=nan")
+	f.Add("cycles=&threads=99999999999999999999")
+	f.Add("no_batch=maybe&return_x=1")
+	f.Fuzz(func(t *testing.T, rawQuery string) {
+		q, err := url.ParseQuery(rawQuery)
+		if err != nil {
+			return
+		}
+		sp, err := specFromQuery(q)
+		if err == nil && sp == nil {
+			t.Fatal("nil spec without error")
+		}
+	})
+}

@@ -1,0 +1,289 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"asyncmg/internal/harness"
+	"asyncmg/internal/mg"
+	"asyncmg/internal/smoother"
+)
+
+// SolveRequest is the JSON body of POST /solve. Matrix uploads (POST
+// /solve/matrix) carry the same knobs as query parameters instead, with
+// the MatrixMarket stream as the body.
+type SolveRequest struct {
+	// Problem and Size select a generated operator (harness families:
+	// 7pt, 27pt, mfem-laplace, mfem-elasticity).
+	Problem string `json:"problem"`
+	Size    int    `json:"size"`
+	// Method is mult, multadd, afacx or bpx (default multadd).
+	Method string `json:"method,omitempty"`
+	// Smoother is w-jacobi, l1-jacobi, hybrid-jgs, async-gs or
+	// l1-hybrid-jgs (default w-jacobi); Omega 0 picks the family default.
+	Smoother string  `json:"smoother,omitempty"`
+	Omega    float64 `json:"omega,omitempty"`
+	// Cycles is t_max (default 30, capped by the server).
+	Cycles int `json:"cycles,omitempty"`
+	// Mode is sync (default), async (goroutine teams) or dist
+	// (message-passing simulation).
+	Mode string `json:"mode,omitempty"`
+	// Threads is the team size for async mode (default 8).
+	Threads int `json:"threads,omitempty"`
+	// RHS is an explicit right-hand side; empty generates the
+	// reproducible random RHS of the paper's protocol from Seed.
+	RHS  []float64 `json:"rhs,omitempty"`
+	Seed int64     `json:"seed,omitempty"`
+	// TimeoutMS bounds the solve wall time (capped by the server's
+	// per-request ceiling).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// NoBatch opts this request out of multi-RHS coalescing.
+	NoBatch bool `json:"no_batch,omitempty"`
+	// ReturnX asks for the solution vector in the response (off by
+	// default: n floats of JSON per request is rarely what a load test
+	// wants).
+	ReturnX bool `json:"return_x,omitempty"`
+}
+
+// SolveResponse is the JSON reply of the solve endpoints.
+type SolveResponse struct {
+	Problem string `json:"problem"`
+	Rows    int    `json:"rows"`
+	Levels  int    `json:"levels"`
+	Method  string `json:"method"`
+	Mode    string `json:"mode"`
+	// Cycles is the number of V-cycles actually run.
+	Cycles int `json:"cycles"`
+	// RelRes is the final relative residual; History the per-cycle trace
+	// (sync mode).
+	RelRes  float64   `json:"relres"`
+	History []float64 `json:"history,omitempty"`
+	// Cache is "hit" or "miss" for this request's hierarchy lookup.
+	Cache string `json:"cache"`
+	// Batched is the number of right-hand sides in the block solve this
+	// request rode in (1 = solo).
+	Batched int `json:"batched"`
+	// SetupNS is the AMG setup time this request paid (0 on a cache hit);
+	// SolveNS the solve time.
+	SetupNS int64 `json:"setup_ns"`
+	SolveNS int64 `json:"solve_ns"`
+	// Diverged marks a solve whose iterate blew up.
+	Diverged bool `json:"diverged,omitempty"`
+	// X is the solution vector, present only when the request set
+	// return_x.
+	X []float64 `json:"x,omitempty"`
+}
+
+// Solve modes.
+const (
+	ModeSync  = "sync"
+	ModeAsync = "async"
+	ModeDist  = "dist"
+)
+
+// spec is a validated, enum-resolved solve request.
+type spec struct {
+	problem string // harness family, or "" for an uploaded matrix
+	size    int
+	method  mg.Method
+	smoCfg  smoother.Config
+	cycles  int
+	mode    string
+	threads int
+	rhs     []float64
+	seed    int64
+	timeout time.Duration
+	noBatch bool
+	returnX bool
+}
+
+// Request-shape limits enforced before any work happens. Decoding is the
+// service's untrusted-input surface (fuzzed), so every bound lives here.
+const (
+	maxCycles     = 10_000
+	maxThreads    = 1 << 10
+	maxSize       = 1 << 20
+	maxRHSEntries = 1 << 26
+)
+
+// parseSolveRequest decodes and validates a /solve JSON body. It must
+// never panic on arbitrary input (fuzzed contract).
+func parseSolveRequest(body []byte) (*spec, error) {
+	var req SolveRequest
+	dec := json.NewDecoder(strings.NewReader(string(body)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("bad request body: %w", err)
+	}
+	return specFromRequest(&req)
+}
+
+// specFromRequest validates a decoded request. Problem may be empty only
+// for matrix uploads (the caller fills the operator in separately).
+func specFromRequest(req *SolveRequest) (*spec, error) {
+	sp := &spec{
+		problem: req.Problem,
+		size:    req.Size,
+		cycles:  req.Cycles,
+		threads: req.Threads,
+		rhs:     req.RHS,
+		seed:    req.Seed,
+		noBatch: req.NoBatch,
+		returnX: req.ReturnX,
+	}
+	if req.Problem != "" {
+		known := false
+		for _, p := range harness.AllProblems() {
+			if p == req.Problem {
+				known = true
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("unknown problem %q (want one of %v)", req.Problem, harness.AllProblems())
+		}
+		if req.Size < 2 || req.Size > maxSize {
+			return nil, fmt.Errorf("size %d outside [2, %d]", req.Size, maxSize)
+		}
+	}
+	var err error
+	if sp.method, err = parseMethod(req.Method); err != nil {
+		return nil, err
+	}
+	kind, err := parseSmoother(req.Smoother)
+	if err != nil {
+		return nil, err
+	}
+	omega := req.Omega
+	if math.IsNaN(omega) || math.IsInf(omega, 0) || omega < 0 || omega > 2 {
+		return nil, fmt.Errorf("omega %v outside [0, 2]", omega)
+	}
+	if omega == 0 {
+		omega = harness.DefaultOmega(req.Problem)
+	}
+	sp.smoCfg = smoother.Config{Kind: kind, Omega: omega, Blocks: 1}
+	if sp.cycles == 0 {
+		sp.cycles = 30
+	}
+	if sp.cycles < 1 || sp.cycles > maxCycles {
+		return nil, fmt.Errorf("cycles %d outside [1, %d]", sp.cycles, maxCycles)
+	}
+	switch req.Mode {
+	case "", ModeSync:
+		sp.mode = ModeSync
+	case ModeAsync, ModeDist:
+		sp.mode = req.Mode
+	default:
+		return nil, fmt.Errorf("unknown mode %q (want sync, async or dist)", req.Mode)
+	}
+	if sp.threads == 0 {
+		sp.threads = 8
+	}
+	if sp.threads < 1 || sp.threads > maxThreads {
+		return nil, fmt.Errorf("threads %d outside [1, %d]", sp.threads, maxThreads)
+	}
+	if len(sp.rhs) > maxRHSEntries {
+		return nil, fmt.Errorf("rhs too large (%d entries)", len(sp.rhs))
+	}
+	for i, v := range sp.rhs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("rhs[%d] is non-finite", i)
+		}
+	}
+	if req.TimeoutMS < 0 {
+		return nil, fmt.Errorf("timeout_ms %d is negative", req.TimeoutMS)
+	}
+	sp.timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	return sp, nil
+}
+
+// specFromQuery builds an upload spec from /solve/matrix query parameters
+// (same knobs as the JSON body, minus problem/size/rhs).
+func specFromQuery(q map[string][]string) (*spec, error) {
+	get := func(k string) string {
+		if v := q[k]; len(v) > 0 {
+			return v[0]
+		}
+		return ""
+	}
+	req := SolveRequest{
+		Method:   get("method"),
+		Smoother: get("smoother"),
+		Mode:     get("mode"),
+	}
+	var err error
+	if s := get("omega"); s != "" {
+		if req.Omega, err = strconv.ParseFloat(s, 64); err != nil {
+			return nil, fmt.Errorf("bad omega %q", s)
+		}
+	}
+	for _, f := range []struct {
+		name string
+		dst  *int
+	}{{"cycles", &req.Cycles}, {"threads", &req.Threads}} {
+		if s := get(f.name); s != "" {
+			if *f.dst, err = strconv.Atoi(s); err != nil {
+				return nil, fmt.Errorf("bad %s %q", f.name, s)
+			}
+		}
+	}
+	if s := get("seed"); s != "" {
+		if req.Seed, err = strconv.ParseInt(s, 10, 64); err != nil {
+			return nil, fmt.Errorf("bad seed %q", s)
+		}
+	}
+	if s := get("timeout_ms"); s != "" {
+		if req.TimeoutMS, err = strconv.ParseInt(s, 10, 64); err != nil {
+			return nil, fmt.Errorf("bad timeout_ms %q", s)
+		}
+	}
+	if s := get("no_batch"); s != "" {
+		if req.NoBatch, err = strconv.ParseBool(s); err != nil {
+			return nil, fmt.Errorf("bad no_batch %q", s)
+		}
+	}
+	if s := get("return_x"); s != "" {
+		if req.ReturnX, err = strconv.ParseBool(s); err != nil {
+			return nil, fmt.Errorf("bad return_x %q", s)
+		}
+	}
+	if req.Omega == 0 {
+		req.Omega = 0.9 // uploads have no family default
+	}
+	return specFromRequest(&req)
+}
+
+func parseMethod(s string) (mg.Method, error) {
+	switch strings.ToLower(s) {
+	case "", "multadd":
+		return mg.Multadd, nil
+	case "mult":
+		return mg.Mult, nil
+	case "afacx":
+		return mg.AFACx, nil
+	case "bpx":
+		return mg.BPX, nil
+	}
+	return 0, fmt.Errorf("unknown method %q (want mult, multadd, afacx, bpx)", s)
+}
+
+func parseSmoother(s string) (smoother.Kind, error) {
+	switch strings.ToLower(s) {
+	case "", "w-jacobi", "wjacobi", "jacobi":
+		return smoother.WJacobi, nil
+	case "l1-jacobi", "l1jacobi", "l1":
+		return smoother.L1Jacobi, nil
+	case "hybrid-jgs", "hybrid", "jgs":
+		return smoother.HybridJGS, nil
+	case "async-gs", "asyncgs", "gs":
+		return smoother.AsyncGS, nil
+	case "l1-hybrid-jgs", "l1-hybrid":
+		return smoother.L1HybridJGS, nil
+	}
+	return 0, fmt.Errorf("unknown smoother %q", s)
+}
+
+func methodName(m mg.Method) string { return m.String() }

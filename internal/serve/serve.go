@@ -1,0 +1,476 @@
+// Package serve turns the solver library into a long-running service:
+// an HTTP API over the synchronous engine, the asynchronous runtime and
+// the distributed-memory simulation, with three production mechanisms on
+// top of the solvers themselves:
+//
+//   - a bounded LRU cache of AMG hierarchies keyed by problem identity
+//     (generator family+size+smoother, or the sha256 fingerprint of an
+//     uploaded matrix), with singleflight builds so a cold burst pays for
+//     one setup;
+//   - a request batcher that coalesces concurrent same-hierarchy solves
+//     into one multi-RHS block solve (bitwise identical per column to
+//     independent solves);
+//   - admission control and lifecycle: a bounded queue with 429
+//     backpressure, a worker semaphore, per-request deadlines, 503 while
+//     draining, and a graceful shutdown that finishes in-flight solves.
+//
+// Everything is stdlib net/http; metrics are the obs registry in text
+// exposition format at /metrics.
+package serve
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"asyncmg/internal/amg"
+	"asyncmg/internal/async"
+	"asyncmg/internal/distmem"
+	"asyncmg/internal/grid"
+	"asyncmg/internal/harness"
+	"asyncmg/internal/mg"
+	"asyncmg/internal/mtx"
+	"asyncmg/internal/obs"
+	"asyncmg/internal/smoother"
+	"asyncmg/internal/sparse"
+	"asyncmg/internal/vec"
+)
+
+// Config tunes the solver service. The zero value picks sensible defaults
+// for every field.
+type Config struct {
+	// CacheSize bounds the hierarchy LRU (default 8 setups).
+	CacheSize int
+	// MaxQueue bounds admitted-but-unfinished requests; excess gets 429
+	// (default 64).
+	MaxQueue int
+	// Workers bounds concurrently executing solves (default GOMAXPROCS).
+	Workers int
+	// BatchWindow is how long the first request of a batch waits for
+	// company (default 2ms; negative disables batching).
+	BatchWindow time.Duration
+	// MaxBatch caps right-hand sides per block solve (default 8).
+	MaxBatch int
+	// MaxBodyBytes caps request bodies, uploads included (default 64 MiB).
+	MaxBodyBytes int64
+	// MaxTimeout caps per-request deadlines; it is also the default for
+	// requests that set none (default 60s).
+	MaxTimeout time.Duration
+	// Observer receives service and solver metrics (default: a fresh
+	// observer; exposed at /metrics either way).
+	Observer *obs.Observer
+	// AMG overrides the hierarchy options (default amg.DefaultOptions).
+	AMG *amg.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize <= 0 {
+		c.CacheSize = 8
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.Observer == nil {
+		c.Observer = obs.New(16)
+	}
+	if c.AMG == nil {
+		opt := amg.DefaultOptions()
+		c.AMG = &opt
+	}
+	return c
+}
+
+// Server is the solver service. Create with New, mount Handler (or use
+// Serve), stop with Shutdown.
+type Server struct {
+	cfg     Config
+	obs     *obs.Observer
+	cache   *cache
+	batch   *batcher
+	mux     *http.ServeMux
+	httpSrv *http.Server
+
+	// sem is the worker semaphore: at most cfg.Workers solves execute at
+	// once; admitted requests beyond that wait in the bounded queue.
+	sem      chan struct{}
+	queued   atomic.Int64
+	draining atomic.Bool
+}
+
+// New builds a server from cfg (zero value is fine).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		obs:   cfg.Observer,
+		cache: newCache(cfg.CacheSize, cfg.Observer),
+		batch: &batcher{window: cfg.BatchWindow, maxBatch: cfg.MaxBatch, obs: cfg.Observer},
+		sem:   make(chan struct{}, cfg.Workers),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /solve", s.handleSolve)
+	s.mux.HandleFunc("POST /solve/matrix", s.handleSolveMatrix)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the service's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on l until Shutdown. It returns
+// http.ErrServerClosed after a clean shutdown, like http.Server.Serve.
+func (s *Server) Serve(l net.Listener) error {
+	s.httpSrv = &http.Server{Handler: s.mux}
+	return s.httpSrv.Serve(l)
+}
+
+// Shutdown drains the server: new solve requests get 503 immediately,
+// in-flight solves run to completion (or until ctx expires).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	if s.httpSrv == nil {
+		return nil
+	}
+	return s.httpSrv.Shutdown(ctx)
+}
+
+// ---- endpoints ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"cache_entries\":%d,\"queue_depth\":%d}\n",
+		s.cache.len(), s.queued.Load())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.obs.WriteText(w)
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1))
+	if err != nil {
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if int64(len(body)) > s.cfg.MaxBodyBytes {
+		http.Error(w, "body too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	sp, err := parseSolveRequest(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if sp.problem == "" {
+		http.Error(w, "problem is required (use /solve/matrix to upload a matrix)", http.StatusBadRequest)
+		return
+	}
+	key := problemKey(sp.problem, sp.size, sp.smoCfg)
+	build := func() (*mg.Setup, error) {
+		a, err := harness.BuildProblem(sp.problem, sp.size)
+		if err != nil {
+			return nil, err
+		}
+		return s.newSetup(a, sp.smoCfg)
+	}
+	s.solve(w, r, sp, key, build)
+}
+
+// handleSolveMatrix solves on an uploaded MatrixMarket operator. The body
+// is the matrix (optionally gzip-compressed — by Content-Encoding header
+// or magic-byte sniff); solver knobs ride in the query string.
+func (s *Server) handleSolveMatrix(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	sp, err := specFromQuery(r.URL.Query())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	raw, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1))
+	if err != nil {
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if int64(len(raw)) > s.cfg.MaxBodyBytes {
+		http.Error(w, "body too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	// Decompress before fingerprinting so the same matrix hits the same
+	// cache entry whether or not the client compressed it.
+	if r.Header.Get("Content-Encoding") == "gzip" ||
+		(len(raw) >= 2 && raw[0] == 0x1f && raw[1] == 0x8b) {
+		zr, err := gzip.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			http.Error(w, "gzip: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		raw, err = io.ReadAll(io.LimitReader(zr, s.cfg.MaxBodyBytes+1))
+		if err != nil {
+			http.Error(w, "gzip: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if int64(len(raw)) > s.cfg.MaxBodyBytes {
+			http.Error(w, "decompressed body too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+	}
+	sum := sha256.Sum256(raw)
+	fp := hex.EncodeToString(sum[:])
+	sp.problem = "mtx:" + fp[:12]
+	key := matrixKey(fp, sp.smoCfg)
+	build := func() (*mg.Setup, error) {
+		a, err := mtx.Read(bytes.NewReader(raw))
+		if err != nil {
+			return nil, err
+		}
+		if a.Rows != a.Cols {
+			return nil, fmt.Errorf("matrix is %dx%d, want square", a.Rows, a.Cols)
+		}
+		return s.newSetup(a, sp.smoCfg)
+	}
+	s.solve(w, r, sp, key, build)
+}
+
+// newSetup builds the engine for a and wires the service observer in, so
+// per-setup stage timings land in the setup_*_ns counters (which stay
+// flat across cache hits — the loadgen's cache evidence).
+func (s *Server) newSetup(a *sparse.CSR, smo smoother.Config) (*mg.Setup, error) {
+	setup, err := mg.NewSetup(a, *s.cfg.AMG, smo)
+	if err != nil {
+		return nil, err
+	}
+	setup.SetObserver(s.obs)
+	return setup, nil
+}
+
+// ---- admission control ----
+
+// admit runs admission control: counts the request, rejects while
+// draining (503) or when the bounded queue is full (429), and otherwise
+// returns the release func the handler must defer.
+func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
+	s.obs.Requests.Inc()
+	if s.draining.Load() {
+		s.obs.Rejected.Inc()
+		http.Error(w, "server is draining", http.StatusServiceUnavailable)
+		return nil, false
+	}
+	q := s.queued.Add(1)
+	s.obs.QueueDepth.Set(q)
+	if q > int64(s.cfg.MaxQueue) {
+		s.obs.QueueDepth.Set(s.queued.Add(-1))
+		s.obs.Rejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "queue full", http.StatusTooManyRequests)
+		return nil, false
+	}
+	return func() { s.obs.QueueDepth.Set(s.queued.Add(-1)) }, true
+}
+
+// ---- the solve pipeline ----
+
+func (s *Server) solve(w http.ResponseWriter, r *http.Request, sp *spec, key string, build func() (*mg.Setup, error)) {
+	timeout := s.cfg.MaxTimeout
+	if sp.timeout > 0 && sp.timeout < timeout {
+		timeout = sp.timeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// Worker semaphore: setup and solve both count as work. Waiting here
+	// is the queue; the deadline keeps a stuck queue from pinning clients.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		s.fail(w, r, ctx.Err())
+		return
+	}
+
+	e, hit := s.cache.getOrBuild(key, build)
+	select {
+	case <-e.ready:
+	case <-ctx.Done():
+		s.fail(w, r, ctx.Err())
+		return
+	}
+	if e.err != nil {
+		http.Error(w, "setup: "+e.err.Error(), http.StatusBadRequest)
+		return
+	}
+	setup := e.setup
+	n := e.rows
+
+	b := sp.rhs
+	if len(b) == 0 {
+		b = grid.RandomRHS(n, sp.seed)
+	} else if len(b) != n {
+		http.Error(w, fmt.Sprintf("rhs has %d entries, operator has %d rows", len(b), n), http.StatusBadRequest)
+		return
+	}
+
+	resp := SolveResponse{
+		Problem: sp.problem,
+		Rows:    n,
+		Levels:  setup.NumLevels(),
+		Method:  methodName(sp.method),
+		Mode:    sp.mode,
+		Cache:   "miss",
+		Batched: 1,
+	}
+	if hit {
+		resp.Cache = "hit"
+	} else {
+		resp.SetupNS = e.setupNS
+	}
+
+	switch sp.mode {
+	case ModeSync:
+		s.solveSync(ctx, w, r, sp, e, b, &resp)
+	case ModeAsync:
+		s.solveAsync(ctx, w, r, sp, setup, b, &resp)
+	case ModeDist:
+		s.solveDist(ctx, w, r, sp, setup, b, &resp)
+	}
+}
+
+func (s *Server) solveSync(ctx context.Context, w http.ResponseWriter, r *http.Request, sp *spec, e *entry, b []float64, resp *SolveResponse) {
+	key := batchKey{method: sp.method, cycles: sp.cycles}
+	var res batchResult
+	if !sp.noBatch && e.setup.CanBlockCycle(sp.method) {
+		select {
+		case res = <-s.batch.join(ctx, e, key, b):
+		case <-ctx.Done():
+			s.fail(w, r, ctx.Err())
+			return
+		}
+	} else {
+		start := time.Now()
+		x, hist, err := e.setup.SolveCtx(ctx, sp.method, b, sp.cycles)
+		res = batchResult{x: x, hist: hist, k: 1, solveNS: time.Since(start).Nanoseconds(), err: err}
+	}
+	if res.err != nil {
+		s.fail(w, r, res.err)
+		return
+	}
+	resp.Batched = res.k
+	resp.SolveNS = res.solveNS
+	resp.History = res.hist
+	resp.Cycles = len(res.hist) - 1
+	if len(res.hist) > 0 {
+		resp.RelRes = res.hist[len(res.hist)-1]
+	}
+	resp.Diverged = vec.Diverged(res.x, resp.RelRes)
+	if sp.returnX {
+		resp.X = res.x
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) solveAsync(ctx context.Context, w http.ResponseWriter, r *http.Request, sp *spec, setup *mg.Setup, b []float64, resp *SolveResponse) {
+	start := time.Now()
+	res, err := async.Solve(ctx, setup, b, async.Config{
+		Method:    sp.method,
+		Threads:   sp.threads,
+		MaxCycles: sp.cycles,
+		Observer:  s.obs,
+	})
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	resp.SolveNS = time.Since(start).Nanoseconds()
+	resp.RelRes = res.RelRes
+	resp.Cycles = sp.cycles
+	resp.Diverged = res.Diverged
+	if sp.returnX {
+		resp.X = res.X
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) solveDist(ctx context.Context, w http.ResponseWriter, r *http.Request, sp *spec, setup *mg.Setup, b []float64, resp *SolveResponse) {
+	if sp.method != mg.Multadd && sp.method != mg.AFACx {
+		http.Error(w, "dist mode supports multadd and afacx only", http.StatusBadRequest)
+		return
+	}
+	start := time.Now()
+	res, err := distmem.Solve(ctx, setup, b, distmem.Config{
+		Method:         sp.method,
+		MaxCorrections: sp.cycles,
+		Observer:       s.obs,
+	})
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	resp.SolveNS = time.Since(start).Nanoseconds()
+	resp.RelRes = res.RelRes
+	resp.Cycles = sp.cycles
+	resp.Diverged = res.Diverged
+	if sp.returnX {
+		resp.X = res.X
+	}
+	writeJSON(w, resp)
+}
+
+// fail maps solve errors to HTTP statuses: deadline → 504, client gone →
+// 499 (nginx convention; the client is not listening anyway), anything
+// else → 500.
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, "solve deadline exceeded", http.StatusGatewayTimeout)
+	case errors.Is(err, context.Canceled):
+		w.WriteHeader(499)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}

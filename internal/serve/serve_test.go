@@ -1,0 +1,490 @@
+package serve
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"asyncmg/internal/amg"
+	"asyncmg/internal/grid"
+	"asyncmg/internal/mg"
+	"asyncmg/internal/mtx"
+	"asyncmg/internal/obs"
+	"asyncmg/internal/smoother"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postSolve(t *testing.T, url string, req SolveRequest) (*SolveResponse, int) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url+"/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /solve: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, resp.StatusCode
+	}
+	var out SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return &out, resp.StatusCode
+}
+
+// TestServeConcurrentClients is the end-to-end contract under -race:
+// concurrent clients over one hierarchy share the cache (one setup build),
+// coalesce into block solves, and every client still gets bitwise the
+// answer a private engine would have produced.
+func TestServeConcurrentClients(t *testing.T) {
+	o := obs.New(16)
+	_, ts := newTestServer(t, Config{
+		Workers:     16,
+		BatchWindow: 100 * time.Millisecond,
+		MaxBatch:    8,
+		Observer:    o,
+	})
+
+	const size, cycles, clients = 6, 6, 6
+	// Private reference engine: identical problem, options and smoother.
+	a := grid.Laplacian7pt(size)
+	ref, err := mg.NewSetup(a, amg.DefaultOptions(), smoother.Config{Kind: smoother.WJacobi, Omega: 0.9, Blocks: 1})
+	if err != nil {
+		t.Fatalf("reference setup: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	results := make([]*SolveResponse, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			out, code := postSolve(t, ts.URL, SolveRequest{
+				Problem: "7pt", Size: size, Method: "mult",
+				Cycles: cycles, Seed: int64(c), ReturnX: true,
+			})
+			if code != http.StatusOK {
+				t.Errorf("client %d: status %d", c, code)
+				return
+			}
+			results[c] = out
+		}(c)
+	}
+	wg.Wait()
+
+	misses, hits, maxBatch := 0, 0, 0
+	for c, out := range results {
+		if out == nil {
+			t.Fatalf("client %d got no result", c)
+		}
+		if out.Cache == "hit" {
+			hits++
+		} else {
+			misses++
+		}
+		if out.Batched > maxBatch {
+			maxBatch = out.Batched
+		}
+		// Bitwise identity with a private solve, through JSON and (for
+		// most clients) the block-solve path.
+		b := grid.RandomRHS(a.Rows, int64(c))
+		wantX, wantH := ref.Solve(mg.Mult, b, cycles)
+		if len(out.History) != len(wantH) {
+			t.Fatalf("client %d: history length %d, want %d", c, len(out.History), len(wantH))
+		}
+		for i := range wantH {
+			if out.History[i] != wantH[i] {
+				t.Fatalf("client %d: history[%d] = %v, want %v", c, i, out.History[i], wantH[i])
+			}
+		}
+		for i := range wantX {
+			if out.X[i] != wantX[i] {
+				t.Fatalf("client %d: x[%d] = %v, want %v", c, i, out.X[i], wantX[i])
+			}
+		}
+	}
+	// Singleflight: exactly one client built the hierarchy.
+	if misses != 1 || hits != clients-1 {
+		t.Errorf("cache misses = %d, hits = %d, want 1 and %d", misses, hits, clients-1)
+	}
+	if got := o.SetupBuilds.Load(); got != 1 {
+		t.Errorf("setup_builds_total = %d, want 1", got)
+	}
+	if maxBatch < 2 {
+		t.Errorf("no batching observed (max batched = %d)", maxBatch)
+	}
+}
+
+// TestServeModesAndNoBatch covers the async and dist solve modes and the
+// no_batch opt-out over one shared cache entry.
+func TestServeModesAndNoBatch(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 8})
+	base := SolveRequest{Problem: "7pt", Size: 5, Cycles: 8, Seed: 1}
+
+	nb := base
+	nb.Method = "mult"
+	nb.NoBatch = true
+	out, code := postSolve(t, ts.URL, nb)
+	if code != http.StatusOK || out.Batched != 1 {
+		t.Fatalf("no_batch solve: status %d, batched %v", code, out)
+	}
+
+	as := base
+	as.Mode = "async"
+	as.Method = "multadd"
+	as.Threads = 8
+	out, code = postSolve(t, ts.URL, as)
+	if code != http.StatusOK {
+		t.Fatalf("async solve: status %d", code)
+	}
+	if out.Cache != "hit" {
+		t.Errorf("async solve after sync: cache %q, want hit (same hierarchy)", out.Cache)
+	}
+	if out.RelRes >= 1 || out.RelRes <= 0 {
+		t.Errorf("async relres = %v, want in (0, 1)", out.RelRes)
+	}
+
+	ds := base
+	ds.Mode = "dist"
+	ds.Method = "multadd"
+	out, code = postSolve(t, ts.URL, ds)
+	if code != http.StatusOK {
+		t.Fatalf("dist solve: status %d", code)
+	}
+	if out.RelRes >= 1 || out.RelRes <= 0 {
+		t.Errorf("dist relres = %v, want in (0, 1)", out.RelRes)
+	}
+
+	// Unsupported dist method is a client error.
+	bad := base
+	bad.Mode = "dist"
+	bad.Method = "mult"
+	if _, code = postSolve(t, ts.URL, bad); code != http.StatusBadRequest {
+		t.Errorf("dist+mult: status %d, want 400", code)
+	}
+}
+
+// TestServeMatrixUpload checks the upload path: a gzip-compressed
+// MatrixMarket body solves, and the identical plain body lands on the
+// same cache entry (fingerprints are computed post-decompression).
+func TestServeMatrixUpload(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4})
+	a := grid.Laplacian7pt(4)
+	var plain bytes.Buffer
+	if err := mtx.Write(&plain, a); err != nil {
+		t.Fatalf("mtx.Write: %v", err)
+	}
+	var gzBody bytes.Buffer
+	zw := gzip.NewWriter(&gzBody)
+	zw.Write(plain.Bytes())
+	zw.Close()
+
+	url := ts.URL + "/solve/matrix?method=mult&cycles=5&seed=2"
+	req, _ := http.NewRequest("POST", url, bytes.NewReader(gzBody.Bytes()))
+	req.Header.Set("Content-Encoding", "gzip")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("gzip upload: %v", err)
+	}
+	var out SolveResponse
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("gzip upload: status %d: %s", resp.StatusCode, b)
+	}
+	json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	if out.Cache != "miss" || out.Rows != a.Rows {
+		t.Fatalf("gzip upload: cache %q rows %d, want miss/%d", out.Cache, out.Rows, a.Rows)
+	}
+
+	resp, err = http.Post(url, "text/plain", bytes.NewReader(plain.Bytes()))
+	if err != nil {
+		t.Fatalf("plain upload: %v", err)
+	}
+	json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	if out.Cache != "hit" {
+		t.Errorf("plain upload of the same matrix: cache %q, want hit", out.Cache)
+	}
+}
+
+// TestServeBackpressure checks admission control: with one worker and a
+// queue of two, a burst gets some 429s while admitted requests finish.
+func TestServeBackpressure(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Workers:     1,
+		MaxQueue:    2,
+		BatchWindow: -1, // solves must hold the worker to create pressure
+	})
+	// Warm the cache, then park a slow solve on the single worker so the
+	// burst below finds the queue occupied.
+	if _, code := postSolve(t, ts.URL, SolveRequest{
+		Problem: "7pt", Size: 10, Method: "mult", Cycles: 2, NoBatch: true,
+	}); code != http.StatusOK {
+		t.Fatalf("warmup: status %d", code)
+	}
+	slow := make(chan int, 1)
+	go func() {
+		_, code := postSolve(t, ts.URL, SolveRequest{
+			Problem: "7pt", Size: 10, Method: "mult", Cycles: 3000, NoBatch: true,
+		})
+		slow <- code
+	}()
+	time.Sleep(50 * time.Millisecond) // let it occupy the worker
+
+	const burst = 10
+	var ok, rejected, other atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < burst; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			_, code := postSolve(t, ts.URL, SolveRequest{
+				Problem: "7pt", Size: 10, Method: "mult", Cycles: 2,
+				NoBatch: true, Seed: int64(c),
+			})
+			switch code {
+			case http.StatusOK:
+				ok.Add(1)
+			case http.StatusTooManyRequests:
+				rejected.Add(1)
+			default:
+				other.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+	if code := <-slow; code != http.StatusOK {
+		t.Fatalf("slow solve: status %d", code)
+	}
+	if other.Load() != 0 {
+		t.Fatalf("unexpected statuses: ok=%d rejected=%d other=%d", ok.Load(), rejected.Load(), other.Load())
+	}
+	if rejected.Load() == 0 {
+		t.Errorf("burst of %d with queue 2 produced no 429s", burst)
+	}
+	if ok.Load() == 0 {
+		t.Errorf("burst of %d produced no successes", burst)
+	}
+}
+
+// TestServeCancellation: a client abandoning a slow solve mid-flight must
+// not wedge the server; later requests on the same hierarchy succeed.
+func TestServeCancellation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	body, _ := json.Marshal(SolveRequest{
+		Problem: "7pt", Size: 10, Method: "mult", Cycles: 3000, NoBatch: true,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, "POST", ts.URL+"/solve", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	cancel()
+	if err := <-errc; err == nil {
+		t.Log("request finished before cancellation (fast machine), still fine")
+	}
+	// The server must still serve.
+	out, code := postSolve(t, ts.URL, SolveRequest{
+		Problem: "7pt", Size: 10, Method: "mult", Cycles: 3, NoBatch: true,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("post-cancellation solve: status %d", code)
+	}
+	if out.Cache != "hit" {
+		t.Errorf("post-cancellation solve: cache %q, want hit", out.Cache)
+	}
+}
+
+// TestServeTimeout checks per-request deadlines: an impossible budget
+// returns 504, and the entry remains usable.
+func TestServeTimeout(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	_, code := postSolve(t, ts.URL, SolveRequest{
+		Problem: "7pt", Size: 10, Method: "mult", Cycles: 10000,
+		TimeoutMS: 1, NoBatch: true,
+	})
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("1ms budget: status %d, want 504", code)
+	}
+	if _, code = postSolve(t, ts.URL, SolveRequest{
+		Problem: "7pt", Size: 10, Method: "mult", Cycles: 2, NoBatch: true,
+	}); code != http.StatusOK {
+		t.Fatalf("after timeout: status %d, want 200", code)
+	}
+}
+
+// TestServeGracefulDrain runs a real listener: Shutdown lets the in-flight
+// solve finish with a 200 while new requests are refused with 503.
+func TestServeGracefulDrain(t *testing.T) {
+	s := New(Config{Workers: 2})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(l) }()
+	url := "http://" + l.Addr().String()
+
+	// Warm the cache so the in-flight request is solve-only.
+	if _, code := postSolve(t, url, SolveRequest{
+		Problem: "7pt", Size: 10, Method: "mult", Cycles: 2, NoBatch: true,
+	}); code != http.StatusOK {
+		t.Fatalf("warmup: status %d", code)
+	}
+
+	inflight := make(chan int, 1)
+	go func() {
+		_, code := postSolve(t, url, SolveRequest{
+			Problem: "7pt", Size: 10, Method: "mult", Cycles: 400, NoBatch: true,
+		})
+		inflight <- code
+	}()
+	time.Sleep(20 * time.Millisecond) // let it reach the solver
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(shutCtx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if code := <-inflight; code != http.StatusOK {
+		t.Errorf("in-flight request during drain: status %d, want 200", code)
+	}
+	if err := <-served; err != http.ErrServerClosed {
+		t.Errorf("Serve returned %v, want http.ErrServerClosed", err)
+	}
+	// Post-drain admission is a deterministic 503 via the handler.
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/solve", strings.NewReader(`{"problem":"7pt","size":5}`))
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("post-drain solve: status %d, want 503", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("post-drain healthz: status %d, want 503", rec.Code)
+	}
+}
+
+// TestServeCacheEviction: an LRU of one evicts on the second distinct
+// problem and the counters add up on /metrics.
+func TestServeCacheEviction(t *testing.T) {
+	o := obs.New(16)
+	s, ts := newTestServer(t, Config{Workers: 2, CacheSize: 1, Observer: o})
+	for _, size := range []int{4, 5, 4} {
+		if _, code := postSolve(t, ts.URL, SolveRequest{
+			Problem: "7pt", Size: size, Method: "mult", Cycles: 2, NoBatch: true,
+		}); code != http.StatusOK {
+			t.Fatalf("size %d: status %d", size, code)
+		}
+	}
+	if got := o.CacheMisses.Load(); got != 3 {
+		t.Errorf("cache_misses = %d, want 3 (LRU of 1 thrashes)", got)
+	}
+	if got := o.CacheEvictions.Load(); got != 2 {
+		t.Errorf("cache_evictions = %d, want 2", got)
+	}
+	if got := s.cache.len(); got != 1 {
+		t.Errorf("cache has %d entries, want 1", got)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"serve_cache_misses_total 3",
+		"serve_cache_evictions_total 2",
+		"serve_requests_total 3",
+		"setup_builds_total 3",
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestServeBadRequests walks the 4xx surface.
+func TestServeBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	for name, tc := range map[string]struct {
+		body string
+		want int
+	}{
+		"garbage":         {"not json", http.StatusBadRequest},
+		"unknown field":   {`{"problem":"7pt","size":5,"bogus":1}`, http.StatusBadRequest},
+		"unknown problem": {`{"problem":"9pt","size":5}`, http.StatusBadRequest},
+		"no problem":      {`{"size":5}`, http.StatusBadRequest},
+		"bad mode":        {`{"problem":"7pt","size":5,"mode":"quantum"}`, http.StatusBadRequest},
+		"bad rhs length":  {`{"problem":"7pt","size":4,"rhs":[1,2,3]}`, http.StatusBadRequest},
+		"negative size":   {`{"problem":"7pt","size":-3}`, http.StatusBadRequest},
+	} {
+		resp, err := http.Post(ts.URL+"/solve", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", name, resp.StatusCode, tc.want)
+		}
+	}
+	// Upload that is not a matrix.
+	resp, err := http.Post(ts.URL+"/solve/matrix", "text/plain", strings.NewReader("hello"))
+	if err != nil {
+		t.Fatalf("bad upload: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad upload: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestSpecDefaults pins the request→spec defaulting rules.
+func TestSpecDefaults(t *testing.T) {
+	sp, err := parseSolveRequest([]byte(`{"problem":"mfem-laplace","size":8}`))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if sp.method != mg.Multadd || sp.mode != ModeSync || sp.cycles != 30 || sp.threads != 8 {
+		t.Errorf("defaults wrong: %+v", sp)
+	}
+	if sp.smoCfg.Omega != 0.5 {
+		t.Errorf("mfem omega = %v, want the family default 0.5", sp.smoCfg.Omega)
+	}
+	if _, err := parseSolveRequest([]byte(fmt.Sprintf(`{"problem":"7pt","size":%d}`, 1<<21))); err == nil {
+		t.Error("oversized problem accepted")
+	}
+}

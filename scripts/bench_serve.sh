@@ -1,0 +1,10 @@
+#!/bin/sh
+# Regenerate BENCH_serve.json, the solver-service benchmark: the load
+# generator drives an in-process mgserve and records the hierarchy-cache
+# and request-batching evidence; benchguard -serve then enforces the
+# structural invariants (one setup per miss, zero setup on hits, batch
+# beats sequential).
+set -eu
+cd "$(dirname "$0")/.."
+go run ./cmd/mgserve -loadgen -out BENCH_serve.json "$@"
+go run ./scripts/benchguard -serve BENCH_serve.json

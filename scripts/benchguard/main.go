@@ -13,6 +13,15 @@
 //	    go run ./scripts/benchguard -write BENCH_setup.json
 //	go test -run '^$' -bench '^BenchmarkSetup$' -benchtime 20x . | \
 //	    go run ./scripts/benchguard -baseline BENCH_setup.json
+//
+// A second mode guards the solver-service benchmark: `-serve` reads a
+// BENCH_serve.json written by `mgserve -loadgen` and enforces the
+// service's structural invariants — exactly one setup build per cache
+// miss, zero setup time on every cache hit, the batching experiment
+// actually coalesced, and the block solve beat the sequential solves:
+//
+//	go run ./cmd/mgserve -loadgen -out BENCH_serve.json
+//	go run ./scripts/benchguard -serve BENCH_serve.json
 package main
 
 import (
@@ -49,13 +58,28 @@ var procsSuffix = regexp.MustCompile(`-\d+$`)
 func main() {
 	write := flag.String("write", "", "write a new baseline JSON to this path")
 	base := flag.String("baseline", "", "compare the run against this baseline JSON")
+	serveFile := flag.String("serve", "", "check a BENCH_serve.json written by mgserve -loadgen")
+	minSpeedup := flag.Float64("min-speedup", 1.05, "minimum batch-vs-sequential solve speedup (-serve only)")
 	tol := flag.Float64("tol", 0.10, "relative allocs/op headroom before a regression is reported")
 	slack := flag.Float64("slack", 16, "absolute allocs/op headroom added on top of -tol")
 	comment := flag.String("comment", defaultComment, "comment stored in the baseline (-write only)")
 	flag.Parse()
-	if (*write == "") == (*base == "") {
-		fmt.Fprintln(os.Stderr, "benchguard: exactly one of -write or -baseline is required")
+	set := 0
+	for _, f := range []string{*write, *base, *serveFile} {
+		if f != "" {
+			set++
+		}
+	}
+	if set != 1 {
+		fmt.Fprintln(os.Stderr, "benchguard: exactly one of -write, -baseline or -serve is required")
 		os.Exit(2)
+	}
+	if *serveFile != "" {
+		if err := checkServe(*serveFile, *minSpeedup); err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	run, cpu, err := parse(bufio.NewScanner(os.Stdin))
@@ -126,6 +150,64 @@ const defaultComment = "AMG setup-phase benchmark baseline (BenchmarkSetup in se
 	"serial vs sharded setup for the paper's four matrices. Regenerate with scripts/bench_setup.sh. " +
 	"ns_per_op is machine-dependent reference only; allocs_per_op is the enforced contract " +
 	"(CI runs benchguard -baseline and fails on regression)."
+
+// serveBench mirrors the BENCH_serve.json schema written by
+// cmd/mgserve's load generator (unknown fields are ignored).
+type serveBench struct {
+	Repeats          int     `json:"repeats"`
+	SetupNSFirst     int64   `json:"setup_ns_first"`
+	SetupNSRestMax   int64   `json:"setup_ns_rest_max"`
+	SetupBuilds      int64   `json:"setup_builds"`
+	CacheMisses      int64   `json:"cache_misses"`
+	CacheHits        int64   `json:"cache_hits"`
+	BatchK           int     `json:"batch_k"`
+	BatchedObserved  int     `json:"batched_observed"`
+	BatchSolveNS     int64   `json:"batch_solve_ns"`
+	SequentialNS     int64   `json:"sequential_solve_ns"`
+	BatchSpeedup     float64 `json:"batch_speedup"`
+	RejectedRequests int64   `json:"rejected_total"`
+}
+
+// checkServe enforces the solver-service invariants on a loadgen result:
+// the hierarchy cache must have eliminated repeat setups entirely (these
+// are structural, not timing, so they hold on any machine), and the
+// batched block solve must beat the same solves run sequentially by the
+// configured margin.
+func checkServe(path string, minSpeedup float64) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var b serveBench
+	if err := json.Unmarshal(buf, &b); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	var fails []string
+	checkf := func(ok bool, format string, args ...any) {
+		if !ok {
+			fails = append(fails, fmt.Sprintf(format, args...))
+		}
+	}
+	checkf(b.Repeats >= 2, "cache experiment needs >= 2 repeats, got %d", b.Repeats)
+	checkf(b.SetupNSFirst > 0, "first request paid no setup (setup_ns_first = %d): cache evidence is vacuous", b.SetupNSFirst)
+	checkf(b.SetupNSRestMax == 0, "a cache hit paid setup time (setup_ns_rest_max = %d)", b.SetupNSRestMax)
+	checkf(b.SetupBuilds == b.CacheMisses, "setup_builds (%d) != cache_misses (%d): some request rebuilt a cached hierarchy", b.SetupBuilds, b.CacheMisses)
+	checkf(b.CacheHits > 0, "no cache hits recorded")
+	checkf(b.BatchK >= 2, "batch experiment needs k >= 2, got %d", b.BatchK)
+	checkf(b.BatchedObserved == b.BatchK, "only %d of %d concurrent solves coalesced", b.BatchedObserved, b.BatchK)
+	checkf(b.BatchSolveNS > 0 && b.SequentialNS > 0, "missing batch timings (%d, %d)", b.BatchSolveNS, b.SequentialNS)
+	checkf(b.BatchSpeedup >= minSpeedup, "batch speedup %.3fx below the %.2fx floor", b.BatchSpeedup, minSpeedup)
+	checkf(b.RejectedRequests == 0, "loadgen saw %d rejected requests", b.RejectedRequests)
+	if len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Printf("benchguard: FAIL %s\n", f)
+		}
+		return fmt.Errorf("%d serve invariant(s) violated", len(fails))
+	}
+	fmt.Printf("benchguard: ok   serve: setup paid once (%.1fms), %d hits at 0ns, batch k=%d speedup %.2fx\n",
+		float64(b.SetupNSFirst)/1e6, b.CacheHits, b.BatchK, b.BatchSpeedup)
+	return nil
+}
 
 // parse reads `go test -bench` output, returning one entry per benchmark
 // plus the reported cpu line.
