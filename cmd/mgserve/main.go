@@ -18,6 +18,19 @@
 // show cache hits skip the AMG setup, and (b) fires the same k solves
 // concurrently (one batched block solve) and sequentially (k independent
 // solves) to measure the batching speedup.
+//
+// Cluster router (consistent-hash routing over N solver nodes, with
+// hierarchy replication, hedged failover, circuit breaking, and local
+// fallback under full partition — see internal/cluster):
+//
+//	mgserve -cluster -addr :8080 -peers host1:8081,host2:8082,host3:8083 -replicas 2
+//	curl -s localhost:8080/cluster
+//
+// Cluster load generator (produces BENCH_cluster.json): drives an
+// in-process 3-node fleet behind the chaos transport through a
+// warmup/steady/kill/restart/straggle/drain schedule:
+//
+//	mgserve -cluster-loadgen -out BENCH_cluster.json
 package main
 
 import (
@@ -55,13 +68,22 @@ func main() {
 	timeout := flag.Duration("max-timeout", 60*time.Second, "per-request deadline cap and default")
 	parWorkers := flag.Int("par-workers", 0, "worker-pool size for sharded kernels (0 = GOMAXPROCS)")
 
+	clusterMode := flag.Bool("cluster", false, "serve the routing tier instead of a node (requires -peers)")
+	peers := flag.String("peers", "", "cluster: comma-separated peer node addresses (host:port)")
+	replicas := flag.Int("replicas", 2, "cluster: owners per shard (primary + warm secondaries)")
+
 	loadgen := flag.Bool("loadgen", false, "run the load generator against an in-process server and exit")
+	clusterLoadgen := flag.Bool("cluster-loadgen", false, "run the cluster load generator against an in-process fleet and exit")
 	out := flag.String("out", "BENCH_serve.json", "loadgen: result file")
 	problem := flag.String("problem", "7pt", "loadgen: problem family")
 	size := flag.Int("size", 16, "loadgen: mesh parameter")
 	cycles := flag.Int("cycles", 20, "loadgen: V-cycles per solve")
 	repeats := flag.Int("repeats", 6, "loadgen: sequential repeats for the cache experiment")
 	batchK := flag.Int("batch", 8, "loadgen: concurrent clients for the batching experiment")
+	clusterNodes := flag.Int("cluster-nodes", 3, "cluster-loadgen: fleet size")
+	clusterConc := flag.Int("cluster-conc", 4, "cluster-loadgen: concurrent clients per phase")
+	clusterReqs := flag.Int("cluster-reqs", 8, "cluster-loadgen: requests per client per phase")
+	seed := flag.Int64("seed", 7, "cluster-loadgen: chaos/jitter seed")
 	flag.Parse()
 	par.SetWorkers(*parWorkers)
 
@@ -78,6 +100,23 @@ func main() {
 
 	if *loadgen {
 		if err := runLoadgen(cfg, o, *out, *problem, *size, *cycles, *repeats, *batchK); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *clusterLoadgen {
+		cOut := *out
+		if cOut == "BENCH_serve.json" {
+			cOut = "BENCH_cluster.json"
+		}
+		if err := runClusterLoadgen(cOut, *problem, 5, 4, *clusterNodes, *replicas,
+			*clusterConc, *clusterReqs, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *clusterMode {
+		if err := runCluster(*addr, *peers, *replicas, cfg, o, *timeout); err != nil {
 			log.Fatal(err)
 		}
 		return

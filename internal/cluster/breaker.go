@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a per-node circuit breaker. A node that keeps failing stops
+// receiving traffic for a cooldown (open); after the cooldown one probe
+// request is let through (half-open) and its outcome decides between
+// closing the circuit and another cooldown. This keeps a dead or sick
+// node from eating a failover attempt out of every request's latency
+// budget: after threshold consecutive failures the router routes around
+// it for free.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    int
+	fails    int
+	openedAt time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a request may be sent. In the open state the
+// first caller after the cooldown becomes the half-open probe; everyone
+// else is rejected until the probe's verdict is in.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Since(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: a probe is already in flight
+		return false
+	}
+}
+
+// success closes the circuit (probe succeeded, or normal traffic).
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.fails = 0
+	b.mu.Unlock()
+}
+
+// failure records one failed request and reports whether this failure
+// opened the circuit (for the breaker-opens counter).
+func (b *breaker) failure() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	switch b.state {
+	case breakerClosed:
+		if b.fails >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = time.Now()
+			return true
+		}
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+		return true
+	}
+	return false
+}
+
+// reset force-closes the circuit; the membership prober calls it when a
+// node transitions back to ready, so recovered nodes get traffic
+// immediately instead of waiting out a stale cooldown.
+func (b *breaker) reset() {
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.fails = 0
+	b.mu.Unlock()
+}
+
+func (b *breaker) stateName() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}

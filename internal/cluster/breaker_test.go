@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b := newBreaker(3, time.Hour)
+	if !b.allow() {
+		t.Fatal("new breaker should be closed")
+	}
+	if b.failure() || b.failure() {
+		t.Fatal("breaker opened before threshold")
+	}
+	if !b.failure() {
+		t.Fatal("third failure should open the breaker")
+	}
+	if b.stateName() != "open" {
+		t.Fatalf("state %q, want open", b.stateName())
+	}
+	if b.allow() {
+		t.Fatal("open breaker admitted a request inside cooldown")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b := newBreaker(1, 10*time.Millisecond)
+	b.failure()
+	time.Sleep(20 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("cooldown elapsed; one probe should be admitted")
+	}
+	if b.stateName() != "half-open" {
+		t.Fatalf("state %q, want half-open", b.stateName())
+	}
+	if b.allow() {
+		t.Fatal("second caller admitted while probe in flight")
+	}
+	// Probe fails: circuit re-opens (and reports the transition).
+	if !b.failure() {
+		t.Fatal("half-open failure should report a re-open")
+	}
+	if b.allow() {
+		t.Fatal("re-opened breaker admitted a request")
+	}
+	// Probe succeeds after the next cooldown: circuit closes.
+	time.Sleep(20 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("second probe should be admitted")
+	}
+	b.success()
+	if b.stateName() != "closed" || !b.allow() {
+		t.Fatal("success should close the circuit")
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b := newBreaker(2, time.Hour)
+	b.failure()
+	b.success()
+	if b.failure() {
+		t.Fatal("streak should have reset; one failure must not open")
+	}
+	b2 := newBreaker(1, time.Hour)
+	b2.failure()
+	b2.reset()
+	if !b2.allow() || b2.stateName() != "closed" {
+		t.Fatal("reset should force-close the circuit")
+	}
+}

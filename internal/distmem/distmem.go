@@ -48,7 +48,26 @@ const (
 	// maxBackoffFactor caps the watchdog's exponential backoff at this
 	// multiple of WatchdogTimeout.
 	maxBackoffFactor = 16
+	// saltWatchdog derives the watchdog's backoff jitter from the fault
+	// seed (disjoint from the transport's per-message salts).
+	saltWatchdog = 0x77d7
 )
+
+// watchdogDelay jitters one watchdog backoff interval: a deterministic
+// deviate in [backoff/2, backoff) derived from (seed, fire count), so
+// several solves stalled at the same moment (same wall clock, different
+// seeds) rebroadcast out of lockstep instead of hammering the transport
+// in synchronized waves — while any single run replays bitwise for its
+// seed. fires is the solve's watchdog-fire ordinal, which both advances
+// the jitter within a run and keeps it reproducible across runs.
+func watchdogDelay(seed int64, fires int, backoff time.Duration) time.Duration {
+	half := backoff / 2
+	if half <= 0 {
+		return backoff
+	}
+	j := fault.Jitter01(seed, saltWatchdog, uint64(fires))
+	return half + time.Duration(j*float64(half))
+}
 
 // Config parameterizes a distributed simulation.
 type Config struct {
@@ -503,7 +522,7 @@ func Solve(ctx context.Context, s *mg.Setup, b []float64, cfg Config) (*Result, 
 			if backoff > maxBackoff {
 				backoff = maxBackoff
 			}
-			resetTimer(backoff, true)
+			resetTimer(watchdogDelay(fc.Seed, res.WatchdogFires, backoff), true)
 		}
 	}
 

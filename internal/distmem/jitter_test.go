@@ -1,0 +1,38 @@
+package distmem
+
+import (
+	"testing"
+	"time"
+)
+
+// TestWatchdogDelayJitter pins the backoff-jitter contract: the delay is
+// a pure function of (seed, fire ordinal), stays within [backoff/2,
+// backoff), and distinct seeds desynchronize — the satellite fix for
+// simultaneously stalled grids rebroadcasting in lockstep.
+func TestWatchdogDelayJitter(t *testing.T) {
+	const backoff = 400 * time.Millisecond
+	for fires := 1; fires <= 8; fires++ {
+		d1 := watchdogDelay(42, fires, backoff)
+		d2 := watchdogDelay(42, fires, backoff)
+		if d1 != d2 {
+			t.Fatalf("fire %d: delay not reproducible (%v vs %v)", fires, d1, d2)
+		}
+		if d1 < backoff/2 || d1 >= backoff {
+			t.Fatalf("fire %d: delay %v outside [%v, %v)", fires, d1, backoff/2, backoff)
+		}
+	}
+	// Different seeds must not share a schedule (lockstep rebroadcast).
+	same := 0
+	for fires := 1; fires <= 8; fires++ {
+		if watchdogDelay(1, fires, backoff) == watchdogDelay(2, fires, backoff) {
+			same++
+		}
+	}
+	if same == 8 {
+		t.Error("seeds 1 and 2 produced identical watchdog schedules")
+	}
+	// Degenerate backoff passes through unharmed.
+	if d := watchdogDelay(7, 1, 1); d != 1 {
+		t.Errorf("1ns backoff jittered to %v", d)
+	}
+}

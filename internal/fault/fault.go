@@ -139,14 +139,23 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// Jitter01 returns a uniform deviate in [0,1) that is a pure function of
+// (seed, salts...): the same chain of SplitMix64 mixes the transport uses
+// for its fault schedule, exported so other randomized-but-reproducible
+// mechanisms (the distmem watchdog's backoff jitter, the cluster router's
+// retry jitter) desynchronize without losing per-seed replayability.
+func Jitter01(seed int64, salts ...uint64) float64 {
+	h := splitmix64(uint64(seed))
+	for _, s := range salts {
+		h = splitmix64(h ^ s)
+	}
+	return float64(h>>11) / float64(uint64(1)<<53)
+}
+
 // roll returns a uniform deviate in [0,1) determined by the link, the
 // attempt number on that link, and a salt distinguishing the decision kind.
 func (t *Transport) roll(link int, attempt int64, salt uint64) float64 {
-	h := splitmix64(uint64(t.cfg.Seed))
-	h = splitmix64(h ^ uint64(link))
-	h = splitmix64(h ^ uint64(attempt))
-	h = splitmix64(h ^ salt)
-	return float64(h>>11) / float64(uint64(1)<<53)
+	return Jitter01(t.cfg.Seed, uint64(link), uint64(attempt), salt)
 }
 
 const (

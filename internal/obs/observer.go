@@ -60,6 +60,23 @@ type Observer struct {
 	BatchSizes                             *Histogram
 	QueueDepth                             *Gauge
 	Rejected, Requests                     *Counter
+	// Warms counts replication warm requests a node served (package
+	// serve's /internal/warm — the pull side of hierarchy replication).
+	Warms *Counter
+
+	// Cluster routing counters (package cluster): solves forwarded to
+	// nodes, 429 retries honoring Retry-After, hedged requests launched
+	// against a replica (and the hedges that won), failovers to the next
+	// owner after a node failure, full-partition fallbacks to the local
+	// engine, per-node circuit-breaker transitions, ring rebuilds driven
+	// by membership changes, replica warm pushes, and failed health
+	// probes. Zero-valued and harmless outside a cluster router.
+	RouteForwards, RouteRetries         *Counter
+	RouteHedges, RouteHedgeWins         *Counter
+	RouteFailovers, RouteLocalFallbacks *Counter
+	BreakerOpens, BreakerRejects        *Counter
+	RingRebuilds, ReplicaWarms          *Counter
+	ProbeFailures                       *Counter
 
 	// Trace is the optional bounded event timeline (nil unless the
 	// observer was built WithTrace).
@@ -76,34 +93,46 @@ func DefaultBatchBounds() []int64 { return []int64{1, 2, 4, 8, 16, 32} }
 func New(grids int) *Observer {
 	r := NewRegistry()
 	o := &Observer{
-		Registry:         r,
-		Relaxations:      r.NewGridCounters("grid_relaxations_total", grids),
-		Corrections:      r.NewGridCounters("grid_corrections_total", grids),
-		Staleness:        r.NewHistogram("staleness_sweeps", DefaultStalenessBounds()),
-		CycleResiduals:   r.NewCounter("residual_samples_total"),
-		Drops:            r.NewCounter("fault_drops_total"),
-		Duplicates:       r.NewCounter("fault_duplicates_total"),
-		Crashes:          r.NewCounter("fault_crashes_total"),
-		Respawns:         r.NewCounter("recovery_respawns_total"),
-		WatchdogFires:    r.NewCounter("recovery_watchdog_fires_total"),
-		DivergenceResets: r.NewCounter("recovery_divergence_resets_total"),
-		Discarded:        r.NewCounter("recovery_discarded_total"),
-		RetiredGrids:     r.NewCounter("recovery_retired_grids_total"),
-		StaleSnapshot:    r.NewCounter("stale_snapshot_drops_total"),
-		SetupBuilds:      r.NewCounter("setup_builds_total"),
-		SetupTotalNS:     r.NewCounter("setup_total_ns_total"),
-		SetupStrengthNS:  r.NewCounter("setup_strength_ns_total"),
-		SetupCoarsenNS:   r.NewCounter("setup_coarsen_ns_total"),
-		SetupInterpNS:    r.NewCounter("setup_interp_ns_total"),
-		SetupRAPNS:       r.NewCounter("setup_rap_ns_total"),
-		SetupFactorNS:    r.NewCounter("setup_factor_ns_total"),
-		CacheHits:        r.NewCounter("serve_cache_hits_total"),
-		CacheMisses:      r.NewCounter("serve_cache_misses_total"),
-		CacheEvictions:   r.NewCounter("serve_cache_evictions_total"),
-		BatchSizes:       r.NewHistogram("serve_batch_size", DefaultBatchBounds()),
-		QueueDepth:       r.NewGauge("serve_queue_depth"),
-		Rejected:         r.NewCounter("serve_rejected_total"),
-		Requests:         r.NewCounter("serve_requests_total"),
+		Registry:            r,
+		Relaxations:         r.NewGridCounters("grid_relaxations_total", grids),
+		Corrections:         r.NewGridCounters("grid_corrections_total", grids),
+		Staleness:           r.NewHistogram("staleness_sweeps", DefaultStalenessBounds()),
+		CycleResiduals:      r.NewCounter("residual_samples_total"),
+		Drops:               r.NewCounter("fault_drops_total"),
+		Duplicates:          r.NewCounter("fault_duplicates_total"),
+		Crashes:             r.NewCounter("fault_crashes_total"),
+		Respawns:            r.NewCounter("recovery_respawns_total"),
+		WatchdogFires:       r.NewCounter("recovery_watchdog_fires_total"),
+		DivergenceResets:    r.NewCounter("recovery_divergence_resets_total"),
+		Discarded:           r.NewCounter("recovery_discarded_total"),
+		RetiredGrids:        r.NewCounter("recovery_retired_grids_total"),
+		StaleSnapshot:       r.NewCounter("stale_snapshot_drops_total"),
+		SetupBuilds:         r.NewCounter("setup_builds_total"),
+		SetupTotalNS:        r.NewCounter("setup_total_ns_total"),
+		SetupStrengthNS:     r.NewCounter("setup_strength_ns_total"),
+		SetupCoarsenNS:      r.NewCounter("setup_coarsen_ns_total"),
+		SetupInterpNS:       r.NewCounter("setup_interp_ns_total"),
+		SetupRAPNS:          r.NewCounter("setup_rap_ns_total"),
+		SetupFactorNS:       r.NewCounter("setup_factor_ns_total"),
+		CacheHits:           r.NewCounter("serve_cache_hits_total"),
+		CacheMisses:         r.NewCounter("serve_cache_misses_total"),
+		CacheEvictions:      r.NewCounter("serve_cache_evictions_total"),
+		BatchSizes:          r.NewHistogram("serve_batch_size", DefaultBatchBounds()),
+		QueueDepth:          r.NewGauge("serve_queue_depth"),
+		Rejected:            r.NewCounter("serve_rejected_total"),
+		Requests:            r.NewCounter("serve_requests_total"),
+		Warms:               r.NewCounter("serve_warms_total"),
+		RouteForwards:       r.NewCounter("cluster_forwards_total"),
+		RouteRetries:        r.NewCounter("cluster_retries_total"),
+		RouteHedges:         r.NewCounter("cluster_hedges_total"),
+		RouteHedgeWins:      r.NewCounter("cluster_hedge_wins_total"),
+		RouteFailovers:      r.NewCounter("cluster_failovers_total"),
+		RouteLocalFallbacks: r.NewCounter("cluster_local_fallbacks_total"),
+		BreakerOpens:        r.NewCounter("cluster_breaker_opens_total"),
+		BreakerRejects:      r.NewCounter("cluster_breaker_rejects_total"),
+		RingRebuilds:        r.NewCounter("cluster_ring_rebuilds_total"),
+		ReplicaWarms:        r.NewCounter("cluster_replica_warms_total"),
+		ProbeFailures:       r.NewCounter("cluster_probe_failures_total"),
 	}
 	// Worker-pool signals: callbacks folding par's package-level atomics
 	// into this registry at exposition time.

@@ -31,6 +31,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -72,6 +73,13 @@ type Config struct {
 	Observer *obs.Observer
 	// AMG overrides the hierarchy options (default amg.DefaultOptions).
 	AMG *amg.Options
+	// MatrixStoreSize bounds the uploaded-matrix byte store that backs
+	// hierarchy replication pulls (default 16 matrices).
+	MatrixStoreSize int
+	// PeerClient performs replication pulls from peer nodes (default
+	// http.DefaultClient). A cluster harness points it at its chaos
+	// transport so pulls share the injected fault schedule.
+	PeerClient *http.Client
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +111,12 @@ func (c Config) withDefaults() Config {
 		opt := amg.DefaultOptions()
 		c.AMG = &opt
 	}
+	if c.MatrixStoreSize <= 0 {
+		c.MatrixStoreSize = 16
+	}
+	if c.PeerClient == nil {
+		c.PeerClient = http.DefaultClient
+	}
 	return c
 }
 
@@ -121,23 +135,34 @@ type Server struct {
 	sem      chan struct{}
 	queued   atomic.Int64
 	draining atomic.Bool
+
+	// solveEWMA is an exponentially weighted moving average of recent
+	// solve wall times (nanoseconds); it sizes the 429 Retry-After hint.
+	solveEWMA atomic.Int64
+	// matrices retains uploaded matrix bytes by fingerprint so replica
+	// nodes can pull them (/internal/matrix) instead of re-uploading.
+	matrices *matrixStore
 }
 
 // New builds a server from cfg (zero value is fine).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		obs:   cfg.Observer,
-		cache: newCache(cfg.CacheSize, cfg.Observer),
-		batch: &batcher{window: cfg.BatchWindow, maxBatch: cfg.MaxBatch, obs: cfg.Observer},
-		sem:   make(chan struct{}, cfg.Workers),
+		cfg:      cfg,
+		obs:      cfg.Observer,
+		cache:    newCache(cfg.CacheSize, cfg.Observer),
+		batch:    &batcher{window: cfg.BatchWindow, maxBatch: cfg.MaxBatch, obs: cfg.Observer},
+		sem:      make(chan struct{}, cfg.Workers),
+		matrices: newMatrixStore(cfg.MatrixStoreSize),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /solve", s.handleSolve)
 	s.mux.HandleFunc("POST /solve/matrix", s.handleSolveMatrix)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /internal/warm", s.handleWarm)
+	s.mux.HandleFunc("GET /internal/matrix", s.handleMatrixGet)
 	return s
 }
 
@@ -163,13 +188,25 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // ---- endpoints ----
 
+// handleHealthz is the liveness probe: 200 for as long as the process can
+// answer, draining or not. A load balancer that kills on liveness must not
+// shoot a node that is merely draining — readiness (/readyz) is the signal
+// that unroutes it.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"draining\":%t,\"cache_entries\":%d,\"queue_depth\":%d}\n",
+		s.draining.Load(), s.cache.len(), s.queued.Load())
+}
+
+// handleReadyz is the readiness probe: 503 while draining (take me out of
+// the ring, let in-flight work finish), 200 otherwise.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, "{\"status\":\"ok\",\"cache_entries\":%d,\"queue_depth\":%d}\n",
+	fmt.Fprintf(w, "{\"status\":\"ready\",\"cache_entries\":%d,\"queue_depth\":%d}\n",
 		s.cache.len(), s.queued.Load())
 }
 
@@ -258,6 +295,9 @@ func (s *Server) handleSolveMatrix(w http.ResponseWriter, r *http.Request) {
 	sum := sha256.Sum256(raw)
 	fp := hex.EncodeToString(sum[:])
 	sp.problem = "mtx:" + fp[:12]
+	// Retain the bytes so replica nodes can pull this matrix by
+	// fingerprint instead of needing the client to re-upload it.
+	s.matrices.put(fp, raw)
 	key := matrixKey(fp, sp.smoCfg)
 	build := func() (*mg.Setup, error) {
 		a, err := mtx.Read(bytes.NewReader(raw))
@@ -301,11 +341,49 @@ func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
 	if q > int64(s.cfg.MaxQueue) {
 		s.obs.QueueDepth.Set(s.queued.Add(-1))
 		s.obs.Rejected.Inc()
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		http.Error(w, "queue full", http.StatusTooManyRequests)
 		return nil, false
 	}
 	return func() { s.obs.QueueDepth.Set(s.queued.Add(-1)) }, true
+}
+
+// retryAfterSeconds estimates when a rejected client should come back:
+// the time for the workers to drain the queue ahead of it, from the
+// current depth and the recent solve-latency EWMA, rounded up to whole
+// seconds and clamped to [1, 60]. With no latency history yet it falls
+// back to 1s, the old hardcoded hint.
+func (s *Server) retryAfterSeconds() int {
+	lat := time.Duration(s.solveEWMA.Load())
+	if lat <= 0 {
+		return 1
+	}
+	depth := s.queued.Load()
+	rounds := depth/int64(s.cfg.Workers) + 1
+	wait := time.Duration(rounds) * lat
+	sec := int((wait + time.Second - 1) / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
+}
+
+// recordSolveNS folds one finished solve's wall time into the latency
+// EWMA (α = 1/4). Lost updates under contention are harmless — this is a
+// hint, not an invariant.
+func (s *Server) recordSolveNS(ns int64) {
+	if ns <= 0 {
+		return
+	}
+	old := s.solveEWMA.Load()
+	if old == 0 {
+		s.solveEWMA.Store(ns)
+		return
+	}
+	s.solveEWMA.Store(old + (ns-old)/4)
 }
 
 // ---- the solve pipeline ----
@@ -394,6 +472,7 @@ func (s *Server) solveSync(ctx context.Context, w http.ResponseWriter, r *http.R
 		s.fail(w, r, res.err)
 		return
 	}
+	s.recordSolveNS(res.solveNS)
 	resp.Batched = res.k
 	resp.SolveNS = res.solveNS
 	resp.History = res.hist
@@ -421,6 +500,7 @@ func (s *Server) solveAsync(ctx context.Context, w http.ResponseWriter, r *http.
 		return
 	}
 	resp.SolveNS = time.Since(start).Nanoseconds()
+	s.recordSolveNS(resp.SolveNS)
 	resp.RelRes = res.RelRes
 	resp.Cycles = sp.cycles
 	resp.Diverged = res.Diverged
@@ -446,6 +526,7 @@ func (s *Server) solveDist(ctx context.Context, w http.ResponseWriter, r *http.R
 		return
 	}
 	resp.SolveNS = time.Since(start).Nanoseconds()
+	s.recordSolveNS(resp.SolveNS)
 	resp.RelRes = res.RelRes
 	resp.Cycles = sp.cycles
 	resp.Diverged = res.Diverged

@@ -4,12 +4,15 @@ import (
 	"bytes"
 	"compress/gzip"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -389,10 +392,180 @@ func TestServeGracefulDrain(t *testing.T) {
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Errorf("post-drain solve: status %d, want 503", rec.Code)
 	}
+	// Liveness stays green through the drain (a load balancer must not
+	// kill a draining node); readiness goes red (it must unroute it).
 	rec = httptest.NewRecorder()
 	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("post-drain healthz: status %d, want 200 (liveness, not readiness)", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), `"draining":true`) {
+		t.Errorf("post-drain healthz body %q does not report draining", rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
 	if rec.Code != http.StatusServiceUnavailable {
-		t.Errorf("post-drain healthz: status %d, want 503", rec.Code)
+		t.Errorf("post-drain readyz: status %d, want 503", rec.Code)
+	}
+}
+
+// TestHealthReadySplit pins the probe semantics on a serving node: both
+// green before drain, only liveness green after.
+func TestHealthReadySplit(t *testing.T) {
+	s := New(Config{Workers: 1})
+	for _, path := range []string{"/healthz", "/readyz"} {
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("%s on a fresh server: status %d, want 200", path, rec.Code)
+		}
+	}
+}
+
+// TestRetryAfterFromLoad pins the 429 Retry-After computation: with no
+// latency history the hint is the legacy 1s; with a recorded solve
+// latency it scales with queue depth over worker count and stays clamped.
+func TestRetryAfterFromLoad(t *testing.T) {
+	s := New(Config{Workers: 2, MaxQueue: 4})
+	if got := s.retryAfterSeconds(); got != 1 {
+		t.Errorf("cold Retry-After = %d, want 1", got)
+	}
+	s.recordSolveNS((500 * time.Millisecond).Nanoseconds())
+	s.queued.Store(4)
+	// 4 queued / 2 workers → 3 rounds of 500ms → 1.5s → ceil 2s.
+	if got := s.retryAfterSeconds(); got != 2 {
+		t.Errorf("loaded Retry-After = %d, want 2", got)
+	}
+	s.recordSolveNS((1000 * time.Hour).Nanoseconds())
+	if got := s.retryAfterSeconds(); got != 60 {
+		t.Errorf("pathological Retry-After = %d, want the 60s clamp", got)
+	}
+}
+
+// TestRetryAfterHeaderOnBackpressure checks the wire: a 429 carries a
+// numeric Retry-After computed from load, not the old hardcoded "1".
+func TestRetryAfterHeaderOnBackpressure(t *testing.T) {
+	s := New(Config{Workers: 1, MaxQueue: 1, BatchWindow: -1})
+	s.recordSolveNS((3 * time.Second).Nanoseconds())
+	s.queued.Store(1) // the queue is full when the next request arrives
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/solve", strings.NewReader(`{"problem":"7pt","size":5}`))
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("overloaded solve: status %d, want 429", rec.Code)
+	}
+	ra := rec.Header().Get("Retry-After")
+	sec, err := strconv.Atoi(ra)
+	if err != nil || sec < 1 {
+		t.Fatalf("Retry-After = %q, want a positive integer", ra)
+	}
+	// 1 queued (full) + this request / 1 worker → at least 2 rounds of 3s.
+	if sec < 6 {
+		t.Errorf("Retry-After = %ds, want >= 6 (queue depth × 3s latency)", sec)
+	}
+}
+
+// TestWarmProblem checks replication warming of a generated problem: the
+// first warm builds, the second reports cached, and a subsequent solve is
+// a pure cache hit.
+func TestWarmProblem(t *testing.T) {
+	o := obs.New(16)
+	_, ts := newTestServer(t, Config{Workers: 2, Observer: o})
+	warm := func() WarmResponse {
+		t.Helper()
+		body, _ := json.Marshal(WarmRequest{Problem: "7pt", Size: 5})
+		resp, err := http.Post(ts.URL+"/internal/warm", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("warm: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			t.Fatalf("warm: status %d: %s", resp.StatusCode, b)
+		}
+		var out WarmResponse
+		json.NewDecoder(resp.Body).Decode(&out)
+		return out
+	}
+	if w := warm(); w.Cached || w.SetupNS <= 0 {
+		t.Fatalf("first warm: %+v, want a fresh build", w)
+	}
+	if w := warm(); !w.Cached || w.SetupNS != 0 {
+		t.Fatalf("second warm: %+v, want cached no-op", w)
+	}
+	out, code := postSolve(t, ts.URL, SolveRequest{Problem: "7pt", Size: 5, Method: "mult", Cycles: 3, NoBatch: true})
+	if code != http.StatusOK || out.Cache != "hit" {
+		t.Fatalf("solve after warm: status %d cache %q, want 200/hit", code, out.Cache)
+	}
+	if got := o.Warms.Load(); got != 2 {
+		t.Errorf("serve_warms_total = %d, want 2", got)
+	}
+}
+
+// TestWarmMatrixPull checks the replication pull path end to end: a
+// matrix uploaded to node A is warmed onto node B by fingerprint, B pulls
+// the bytes from A, and a solve of the same upload on B is a cache hit.
+func TestWarmMatrixPull(t *testing.T) {
+	_, tsA := newTestServer(t, Config{Workers: 2})
+	oB := obs.New(16)
+	_, tsB := newTestServer(t, Config{Workers: 2, Observer: oB})
+
+	a := grid.Laplacian7pt(4)
+	var plain bytes.Buffer
+	if err := mtx.Write(&plain, a); err != nil {
+		t.Fatalf("mtx.Write: %v", err)
+	}
+	sum := sha256.Sum256(plain.Bytes())
+	fp := hex.EncodeToString(sum[:])
+
+	resp, err := http.Post(tsA.URL+"/solve/matrix?method=mult&cycles=3", "text/plain", bytes.NewReader(plain.Bytes()))
+	if err != nil {
+		t.Fatalf("upload to A: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload to A: status %d", resp.StatusCode)
+	}
+
+	body, _ := json.Marshal(WarmRequest{MatrixFP: fp, Source: tsA.URL})
+	resp, err = http.Post(tsB.URL+"/internal/warm", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("warm B: %v", err)
+	}
+	var wout WarmResponse
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("warm B: status %d: %s", resp.StatusCode, b)
+	}
+	json.NewDecoder(resp.Body).Decode(&wout)
+	resp.Body.Close()
+	if wout.Cached || wout.SetupNS <= 0 {
+		t.Fatalf("warm B: %+v, want a fresh pulled build", wout)
+	}
+
+	resp, err = http.Post(tsB.URL+"/solve/matrix?method=mult&cycles=3", "text/plain", bytes.NewReader(plain.Bytes()))
+	if err != nil {
+		t.Fatalf("solve on B: %v", err)
+	}
+	var sout SolveResponse
+	json.NewDecoder(resp.Body).Decode(&sout)
+	resp.Body.Close()
+	if sout.Cache != "hit" {
+		t.Errorf("solve on B after warm: cache %q, want hit (replication made setup free)", sout.Cache)
+	}
+
+	// A warm for bytes nobody holds fails loudly, not silently.
+	bogus := strings.Repeat("ab", 32)
+	body, _ = json.Marshal(WarmRequest{MatrixFP: bogus, Source: tsA.URL})
+	resp, err = http.Post(tsB.URL+"/internal/warm", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("bogus warm: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Errorf("bogus warm: status %d, want 502", resp.StatusCode)
 	}
 }
 

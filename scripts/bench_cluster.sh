@@ -1,0 +1,14 @@
+#!/bin/sh
+# Regenerate BENCH_cluster.json, the cluster-tier benchmark: the load
+# generator drives an in-process 3-node fleet (RF=2) behind the chaos
+# transport through the fault acceptance schedule — warmup, steady
+# state, kill mid-load, restart with an empty cache, a straggling node,
+# and a drain mid-load — and records QPS/latency per phase plus the
+# routing counters; benchguard -cluster then enforces the structural
+# invariants (zero failed requests, hedges covering the straggler, ring
+# rebuilds on every membership change, replication keeping the restart
+# phase cache-hot).
+set -eu
+cd "$(dirname "$0")/.."
+go run ./cmd/mgserve -cluster-loadgen -out BENCH_cluster.json "$@"
+go run ./scripts/benchguard -cluster BENCH_cluster.json

@@ -22,6 +22,17 @@
 //
 //	go run ./cmd/mgserve -loadgen -out BENCH_serve.json
 //	go run ./scripts/benchguard -serve BENCH_serve.json
+//
+// A third mode guards the cluster benchmark: `-cluster` reads a
+// BENCH_cluster.json written by `mgserve -cluster-loadgen` and enforces
+// the fault-tolerance invariants — zero failed requests through the
+// whole kill/restart/straggle/drain schedule, hedges or failovers
+// actually covering the staged faults, membership rebuilding the ring,
+// and replication keeping the restarted node's phase above the cache
+// hit-rate floor:
+//
+//	go run ./cmd/mgserve -cluster-loadgen -out BENCH_cluster.json
+//	go run ./scripts/benchguard -cluster BENCH_cluster.json
 package main
 
 import (
@@ -59,23 +70,32 @@ func main() {
 	write := flag.String("write", "", "write a new baseline JSON to this path")
 	base := flag.String("baseline", "", "compare the run against this baseline JSON")
 	serveFile := flag.String("serve", "", "check a BENCH_serve.json written by mgserve -loadgen")
+	clusterFile := flag.String("cluster", "", "check a BENCH_cluster.json written by mgserve -cluster-loadgen")
 	minSpeedup := flag.Float64("min-speedup", 1.05, "minimum batch-vs-sequential solve speedup (-serve only)")
+	minHitRate := flag.Float64("min-hit-rate", 0.5, "minimum restart-phase cache hit rate (-cluster only)")
 	tol := flag.Float64("tol", 0.10, "relative allocs/op headroom before a regression is reported")
 	slack := flag.Float64("slack", 16, "absolute allocs/op headroom added on top of -tol")
 	comment := flag.String("comment", defaultComment, "comment stored in the baseline (-write only)")
 	flag.Parse()
 	set := 0
-	for _, f := range []string{*write, *base, *serveFile} {
+	for _, f := range []string{*write, *base, *serveFile, *clusterFile} {
 		if f != "" {
 			set++
 		}
 	}
 	if set != 1 {
-		fmt.Fprintln(os.Stderr, "benchguard: exactly one of -write, -baseline or -serve is required")
+		fmt.Fprintln(os.Stderr, "benchguard: exactly one of -write, -baseline, -serve or -cluster is required")
 		os.Exit(2)
 	}
 	if *serveFile != "" {
 		if err := checkServe(*serveFile, *minSpeedup); err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *clusterFile != "" {
+		if err := checkCluster(*clusterFile, *minHitRate); err != nil {
 			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
 			os.Exit(1)
 		}
@@ -206,6 +226,78 @@ func checkServe(path string, minSpeedup float64) error {
 	}
 	fmt.Printf("benchguard: ok   serve: setup paid once (%.1fms), %d hits at 0ns, batch k=%d speedup %.2fx\n",
 		float64(b.SetupNSFirst)/1e6, b.CacheHits, b.BatchK, b.BatchSpeedup)
+	return nil
+}
+
+// clusterBench mirrors the BENCH_cluster.json schema written by
+// cmd/mgserve's cluster load generator (unknown fields are ignored;
+// QPS/latency fields are reference-only and never enforced).
+type clusterBench struct {
+	Nodes    int `json:"nodes"`
+	Replicas int `json:"replicas"`
+	Phases   []struct {
+		Name     string `json:"name"`
+		Requests int64  `json:"requests"`
+		Failed   int64  `json:"failed"`
+		Hits     int64  `json:"hits"`
+		Misses   int64  `json:"misses"`
+	} `json:"phases"`
+	FailedTotal    int64   `json:"failed_total"`
+	RestartHitRate float64 `json:"restart_hit_rate"`
+	HedgeWins      int64   `json:"hedge_wins_total"`
+	Failovers      int64   `json:"failovers_total"`
+	RingRebuilds   int64   `json:"ring_rebuilds_total"`
+	ReplicaWarms   int64   `json:"replica_warms_total"`
+	ChaosRefused   int64   `json:"chaos_refused"`
+}
+
+// checkCluster enforces the cluster tier's fault-tolerance invariants on
+// a cluster-loadgen result. All structural, none timing-based: a fleet
+// that loses requests to a staged kill, never hedges around the
+// straggler, never rebuilds its ring, or comes back from a restart
+// cache-cold fails on any machine.
+func checkCluster(path string, minHitRate float64) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var b clusterBench
+	if err := json.Unmarshal(buf, &b); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	var fails []string
+	checkf := func(ok bool, format string, args ...any) {
+		if !ok {
+			fails = append(fails, fmt.Sprintf(format, args...))
+		}
+	}
+	checkf(b.Nodes >= 3, "fleet has %d nodes, want >= 3", b.Nodes)
+	checkf(b.Replicas >= 2, "replication factor %d, want >= 2", b.Replicas)
+	want := []string{"warmup", "steady", "kill", "restart", "straggle", "drain"}
+	have := map[string]bool{}
+	for _, ph := range b.Phases {
+		have[ph.Name] = true
+		checkf(ph.Requests > 0, "phase %q issued no requests", ph.Name)
+		checkf(ph.Failed == 0, "phase %q failed %d of %d requests, want 0", ph.Name, ph.Failed, ph.Requests)
+	}
+	for _, name := range want {
+		checkf(have[name], "phase %q missing from the schedule", name)
+	}
+	checkf(b.FailedTotal == 0, "%d requests failed across the fault schedule, want 0", b.FailedTotal)
+	checkf(b.RestartHitRate >= minHitRate, "restart-phase hit rate %.3f below the %.2f floor (replication did not repopulate the cache)", b.RestartHitRate, minHitRate)
+	checkf(b.HedgeWins >= 1, "no hedge ever won (%d); the straggler was never routed around", b.HedgeWins)
+	checkf(b.HedgeWins+b.Failovers >= 1, "neither hedges (%d) nor failovers (%d) covered the staged faults", b.HedgeWins, b.Failovers)
+	checkf(b.RingRebuilds >= 4, "ring rebuilds %d, want >= 4 (initial, kill, restart, drain)", b.RingRebuilds)
+	checkf(b.ReplicaWarms >= 1, "no replica warms recorded; replication is dead", b.ReplicaWarms)
+	checkf(b.ChaosRefused >= 1, "chaos refused no requests; the kill never landed on live traffic", b.ChaosRefused)
+	if len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Printf("benchguard: FAIL %s\n", f)
+		}
+		return fmt.Errorf("%d cluster invariant(s) violated", len(fails))
+	}
+	fmt.Printf("benchguard: ok   cluster: %d nodes RF=%d, %d failed, restart hit rate %.2f, %d hedge wins, %d rebuilds, %d warms\n",
+		b.Nodes, b.Replicas, b.FailedTotal, b.RestartHitRate, b.HedgeWins, b.RingRebuilds, b.ReplicaWarms)
 	return nil
 }
 
