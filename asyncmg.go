@@ -61,6 +61,7 @@ import (
 	"asyncmg/internal/model"
 	"asyncmg/internal/mtx"
 	"asyncmg/internal/obs"
+	"asyncmg/internal/op"
 	"asyncmg/internal/par"
 	"asyncmg/internal/serve"
 	"asyncmg/internal/smoother"
@@ -236,6 +237,54 @@ func NewSetup(a *Matrix, amgOpt AMGOptions, smoCfg SmootherConfig) (*Setup, erro
 // NewSetupFromHierarchy builds solver operators on an existing hierarchy.
 func NewSetupFromHierarchy(h *Hierarchy, smoCfg SmootherConfig) (*Setup, error) {
 	return mg.NewSetupFromHierarchy(h, smoCfg)
+}
+
+// ---- Operator abstraction: matrix-free fine levels, mixed precision ----
+
+// Operator is the storage-agnostic linear operator the cycle engine runs
+// on: float64 CSR (the default), float32 CSR with float64 accumulation,
+// or the matrix-free stencil operators below.
+type Operator = op.Operator
+
+// Interp is the prolongation/restriction view of one hierarchy level pair.
+type Interp = op.Interp
+
+// Precision selects the storage precision of the solver's hierarchy view
+// (AMGOptions.CoarsePrecision).
+type Precision = op.Precision
+
+// Hierarchy storage-precision policies. Float64 keeps every matrix in
+// float64 CSR (the default, bitwise-pinned by the golden tests);
+// CoarseFloat32 re-stores the coarse operators (levels >= 1) and all
+// interpolants in float32 with float64 accumulation — about half the
+// hierarchy bytes at unchanged iteration counts on the paper's problems.
+const (
+	Float64       = op.Float64
+	CoarseFloat32 = op.CoarseFloat32
+)
+
+// Stencil7 is the matrix-free operator of the 7-point Laplacian on an
+// n×n×n grid: Laplacian7pt(n) without storing the matrix. Its kernels
+// are bitwise-identical to the CSR kernels on the same problem.
+type Stencil7 = op.Stencil7
+
+// Stencil27 is the matrix-free 27-point Laplacian operator.
+type Stencil27 = op.Stencil27
+
+// NewStencil7 builds the matrix-free 7-point Laplacian on an n×n×n grid.
+func NewStencil7(n int) *Stencil7 { return op.NewStencil7(n) }
+
+// NewStencil27 builds the matrix-free 27-point Laplacian operator.
+func NewStencil27(n int) *Stencil27 { return op.NewStencil27(n) }
+
+// NewSetupMatrixFree builds the hierarchy and all solver operators from
+// an arbitrary fine-level operator. A matrix-free stencil coarsens itself
+// geometrically (trilinear 2h interpolation plus a Galerkin product) and
+// the AMG setup continues algebraically from the first coarse matrix —
+// the fine-level matrix is never materialized. A CSR-backed operator
+// takes the standard NewSetup path.
+func NewSetupMatrixFree(a Operator, amgOpt AMGOptions, smoCfg SmootherConfig) (*Setup, error) {
+	return mg.NewSetupOperator(a, amgOpt, smoCfg)
 }
 
 // SolveSync runs tmax sequential V-cycles of the chosen method from x = 0

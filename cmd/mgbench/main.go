@@ -39,6 +39,7 @@ func main() {
 	table := flag.Int("table", 0, "table to regenerate (1)")
 	fig := flag.Int("fig", 0, "figure to regenerate (4, 5 or 6)")
 	setup := flag.Bool("setup", false, "print the AMG setup-phase timing breakdown (serial vs parallel)")
+	stencil := flag.Bool("stencil", false, "print the matrix-free stencil vs CSR comparison (SpMV throughput, hierarchy bytes, rows/GB)")
 	all := flag.Bool("all", false, "regenerate Table I and Figures 4-6 in sequence")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	problem := flag.String("problem", "", "restrict to one problem family")
@@ -56,7 +57,7 @@ func main() {
 	par.SetWorkers(*parWorkers)
 	par.SetThreshold(*parThreshold)
 
-	if *table == 0 && *fig == 0 && !*all && !*setup {
+	if *table == 0 && *fig == 0 && !*all && !*setup && !*stencil {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -96,6 +97,23 @@ func main() {
 		}
 	}
 	defer finish()
+
+	if *stencil {
+		cfg := harness.DefaultStencilBench()
+		if *problem != "" {
+			cfg.Problems = []string{*problem}
+		}
+		if *size > 0 {
+			cfg.Size = *size
+		}
+		if *runs > 0 {
+			cfg.Reps = *runs
+		}
+		if err := harness.StencilBench(os.Stdout, cfg); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *setup {
 		cfg := harness.DefaultSetupBreakdown()

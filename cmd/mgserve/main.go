@@ -50,7 +50,9 @@ import (
 	"syscall"
 	"time"
 
+	"asyncmg/internal/amg"
 	"asyncmg/internal/obs"
+	"asyncmg/internal/op"
 	"asyncmg/internal/par"
 	"asyncmg/internal/serve"
 )
@@ -67,6 +69,8 @@ func main() {
 	maxBatch := flag.Int("max-batch", 8, "right-hand sides per block solve")
 	timeout := flag.Duration("max-timeout", 60*time.Second, "per-request deadline cap and default")
 	parWorkers := flag.Int("par-workers", 0, "worker-pool size for sharded kernels (0 = GOMAXPROCS)")
+	matrixFree := flag.Bool("matrix-free", false, "build structured stencil problems (7pt, 27pt) matrix-free: the fine level is never materialized as CSR")
+	f32Coarse := flag.Bool("f32-coarse", false, "store coarse operators and interpolants in float32 (shrinks cached hierarchies)")
 
 	clusterMode := flag.Bool("cluster", false, "serve the routing tier instead of a node (requires -peers)")
 	peers := flag.String("peers", "", "cluster: comma-separated peer node addresses (host:port)")
@@ -96,6 +100,12 @@ func main() {
 		MaxBatch:    *maxBatch,
 		MaxTimeout:  *timeout,
 		Observer:    o,
+		MatrixFree:  *matrixFree,
+	}
+	if *f32Coarse {
+		opt := amg.DefaultOptions()
+		opt.CoarsePrecision = op.CoarseFloat32
+		cfg.AMG = &opt
 	}
 
 	if *loadgen {

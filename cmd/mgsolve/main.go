@@ -24,6 +24,7 @@ import (
 	"asyncmg/internal/mg"
 	"asyncmg/internal/mtx"
 	"asyncmg/internal/obs"
+	"asyncmg/internal/op"
 	"asyncmg/internal/par"
 	"asyncmg/internal/smoother"
 	"asyncmg/internal/sparse"
@@ -41,6 +42,8 @@ func main() {
 	omega := flag.Float64("omega", 0, "Jacobi weight (0 = family default: 0.9 stencil, 0.5 FEM)")
 	cycles := flag.Int("cycles", 30, "number of V-cycles (t_max)")
 	aggressive := flag.Int("aggressive", 1, "aggressive coarsening levels")
+	matrixFree := flag.Bool("matrix-free", false, "apply the fine level from the stencil without materializing CSR (7pt/27pt only)")
+	f32Coarse := flag.Bool("f32-coarse", false, "store coarse operators and interpolants in float32")
 	runAsync := flag.Bool("async", false, "run the asynchronous parallel solver instead of the sequential one")
 	threads := flag.Int("threads", 8, "goroutines for -async")
 	writeMode := flag.String("write", "atomic", "async write mode: lock, atomic")
@@ -83,12 +86,21 @@ func main() {
 	defer finish()
 
 	var a *sparse.CSR
+	var aOp op.Operator
 	if *matrix != "" {
 		a, err = mtx.ReadFile(*matrix)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("matrix %s: %d rows, %d nonzeros\n", *matrix, a.Rows, a.NNZ())
+	} else if *matrixFree {
+		var ok bool
+		aOp, ok = harness.BuildProblemOperator(*problem, *size)
+		if !ok {
+			log.Fatalf("-matrix-free needs a structured problem (7pt, 27pt), got %q", *problem)
+		}
+		fmt.Printf("problem %s size %d: %d rows, %d stencil nonzeros (matrix-free)\n",
+			*problem, *size, aOp.Rows(), aOp.NNZEquivalent())
 	} else {
 		a, err = harness.BuildProblem(*problem, *size)
 		if err != nil {
@@ -106,22 +118,30 @@ func main() {
 	}
 	opt := amg.DefaultOptions()
 	opt.AggressiveLevels = *aggressive
+	if *f32Coarse {
+		opt.CoarsePrecision = op.CoarseFloat32
+	}
 	if *problem == harness.ProblemElasticity && *matrix == "" {
 		opt.NumFunctions = 3 // unknown approach for the vector problem
 	}
 	scfg := smoother.Config{Kind: kind, Omega: *omega, Blocks: 1}
-	setup, err := mg.NewSetup(a, opt, scfg)
+	var setup *mg.Setup
+	if aOp != nil {
+		setup, err = mg.NewSetupOperator(aOp, opt, scfg)
+	} else {
+		setup, err = mg.NewSetup(a, opt, scfg)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("hierarchy: %d levels, sizes %v, operator complexity %.2f\n",
-		setup.NumLevels(), setup.H.GridSizes(), setup.H.OperatorComplexity())
+	fmt.Printf("hierarchy: %d levels, sizes %v, operator complexity %.2f, %d bytes resident\n",
+		setup.NumLevels(), setup.H.GridSizes(), setup.H.OperatorComplexity(), setup.HierarchyBytes())
 
 	m, err := parseMethod(*method)
 	if err != nil {
 		log.Fatal(err)
 	}
-	b := grid.RandomRHS(a.Rows, *seed)
+	b := grid.RandomRHS(setup.LevelSize(0), *seed)
 
 	if *runAsync {
 		wm := async.AtomicWrite

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"asyncmg"
+	"asyncmg/internal/harness"
 )
 
 // The histories below were recorded on the pre-engine implementation (the
@@ -105,6 +106,69 @@ func relErr(got, want float64) float64 {
 // the pre-refactor residual histories: sequential mg (Mult/Multadd/AFACx),
 // the synchronous team solver, and the §III model at α=1, δ=0 (where the
 // model reduces to the synchronous additive iteration).
+// TestMixedPrecisionGolden pins the float32 coarse hierarchy to the
+// float64 goldens on all four paper matrices: the storage change must not
+// alter the algorithm. Every method runs the same number of cycles in
+// both precisions (identical iteration structure) and each per-cycle
+// relative residual stays within 1e-6 of the float64 history — single
+// precision on the coarse levels perturbs at rounding level, far below
+// the convergence factors being reproduced.
+func TestMixedPrecisionGolden(t *testing.T) {
+	const f32RelTol = 1e-6
+	problems := []struct {
+		name string
+		size int
+	}{
+		{harness.Problem7pt, 14},
+		{harness.Problem27pt, 10},
+		{harness.ProblemLaplaceFEM, 8},
+		{harness.ProblemElasticity, 3},
+	}
+	for _, p := range problems {
+		t.Run(p.name, func(t *testing.T) {
+			a, err := harness.BuildProblem(p.name, p.size)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			opt := asyncmg.DefaultAMGOptions()
+			if p.name == harness.ProblemElasticity {
+				opt.NumFunctions = 3
+			}
+			smo := asyncmg.SmootherConfig{Kind: asyncmg.WJacobi, Omega: harness.DefaultOmega(p.name), Blocks: 1}
+			s64, err := asyncmg.NewSetup(a, opt, smo)
+			if err != nil {
+				t.Fatalf("float64 setup: %v", err)
+			}
+			opt32 := opt
+			opt32.CoarsePrecision = asyncmg.CoarseFloat32
+			s32, err := asyncmg.NewSetup(a, opt32, smo)
+			if err != nil {
+				t.Fatalf("float32 setup: %v", err)
+			}
+			if g64, g32 := s64.NumLevels(), s32.NumLevels(); g64 != g32 {
+				t.Fatalf("precision changed the hierarchy: %d levels vs %d", g64, g32)
+			}
+			if b64, b32 := s64.HierarchyBytes(), s32.HierarchyBytes(); b32 >= b64 {
+				t.Errorf("float32 hierarchy is not smaller: %d B vs %d B", b32, b64)
+			}
+			b := asyncmg.RandomRHS(a.Rows, 11)
+			for _, m := range []asyncmg.Method{asyncmg.Mult, asyncmg.Multadd, asyncmg.AFACx} {
+				_, h64 := asyncmg.SolveSync(s64, m, b, 8)
+				_, h32 := asyncmg.SolveSync(s32, m, b, 8)
+				if len(h64) != len(h32) {
+					t.Fatalf("%v: iteration counts differ: %d vs %d cycles", m, len(h64)-1, len(h32)-1)
+				}
+				for i := range h64 {
+					if err := relErr(h32[i], h64[i]); err > f32RelTol {
+						t.Errorf("%v cycle %d: float32 %.17g vs float64 %.17g (rel err %.3g)",
+							m, i, h32[i], h64[i], err)
+					}
+				}
+			}
+		})
+	}
+}
+
 func TestGoldenEquivalence(t *testing.T) {
 	smo := asyncmg.SmootherConfig{Kind: asyncmg.WJacobi, Omega: 0.9, Blocks: 1}
 	for _, g := range goldens {

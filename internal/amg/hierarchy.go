@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"asyncmg/internal/dense"
+	"asyncmg/internal/op"
 	"asyncmg/internal/sparse"
 )
 
@@ -41,6 +42,13 @@ type Options struct {
 	// each coarse point inherits its fine point's function. 0 or 1 means
 	// a scalar problem.
 	NumFunctions int
+	// CoarsePrecision selects the storage precision of coarse-level
+	// operators and interpolants in the solver's hierarchy view
+	// (op.Float64 keeps everything in float64 CSR; op.CoarseFloat32
+	// re-stores levels k >= 1 and all interpolants in float32 with
+	// float64 accumulation). The setup itself always runs in float64 —
+	// the engine performs the conversion after building its cached view.
+	CoarsePrecision op.Precision
 }
 
 // DefaultOptions mirrors the paper's BoomerAMG configuration: HMIS
@@ -62,18 +70,54 @@ func DefaultOptions() Options {
 
 // Level is one level of the multigrid hierarchy.
 type Level struct {
-	// A is the operator on this level (Galerkin product below the finest).
+	// A is the operator on this level as float64 CSR (Galerkin product
+	// below the finest); nil on a matrix-free fine level, where Op holds
+	// the operator instead.
 	A *sparse.CSR
+	// Op is the operator view of a level without a materialized float64
+	// matrix (the matrix-free stencil fine level); nil when A is set.
+	Op op.Operator
 	// P prolongates from the next coarser level to this one; nil on the
-	// coarsest level.
+	// coarsest level and on levels whose interpolant is matrix-free (Itp).
 	P *sparse.CSR
 	// PT is the cached transpose of P, computed once during setup and
 	// shared between the Galerkin triple product and the solver-facing
 	// restriction view (the engine previously re-transposed P per level);
 	// nil on the coarsest level.
 	PT *sparse.CSR
-	// Types is the C/F splitting used to build P; nil on the coarsest.
+	// Itp is the interpolant view of a level without materialized P/PT
+	// (the geometric interpolant of a matrix-free fine level); nil when P
+	// is set.
+	Itp op.Interp
+	// Types is the C/F splitting used to build P; nil on the coarsest and
+	// on geometrically coarsened levels.
 	Types []PointType
+}
+
+// Rows returns the level's row count from whichever view is present.
+func (l *Level) Rows() int {
+	if l.A != nil {
+		return l.A.Rows
+	}
+	return l.Op.Rows()
+}
+
+// NNZ returns the level operator's stored-or-implied nonzero count.
+func (l *Level) NNZ() int {
+	if l.A != nil {
+		return l.A.NNZ()
+	}
+	return l.Op.NNZEquivalent()
+}
+
+// Operator returns the level's operator view, wrapping a CSR level on
+// demand. The wrapper is a thin adapter; hierarchy-view owners that call
+// per cycle should cache the result.
+func (l *Level) Operator() op.Operator {
+	if l.Op != nil {
+		return l.Op
+	}
+	return op.FromCSR(l.A)
 }
 
 // Hierarchy is the output of the AMG setup: level 0 is the finest grid.
@@ -83,19 +127,25 @@ type Hierarchy struct {
 	// the coarsest matrix was singular (solvers then fall back to
 	// smoothing on the coarsest level, as AFACx does anyway).
 	Coarse *dense.LU
+	// Precision is the storage-precision policy requested for the
+	// solver's hierarchy view (Options.CoarsePrecision, recorded here so
+	// view owners see it without the Options). The Levels above are
+	// always float64; the engine applies the conversion.
+	Precision op.Precision
 }
 
 // NumLevels returns the number of levels (>= 1).
 func (h *Hierarchy) NumLevels() int { return len(h.Levels) }
 
 // OperatorComplexity returns Σ_k nnz(A_k) / nnz(A_0), the standard AMG
-// grid-complexity metric.
+// grid-complexity metric. Matrix-free levels count their implied
+// nonzeros.
 func (h *Hierarchy) OperatorComplexity() float64 {
 	total := 0
-	for _, l := range h.Levels {
-		total += l.A.NNZ()
+	for i := range h.Levels {
+		total += h.Levels[i].NNZ()
 	}
-	return float64(total) / float64(h.Levels[0].A.NNZ())
+	return float64(total) / float64(h.Levels[0].NNZ())
 }
 
 // SetupStats is the per-stage wall-time breakdown of one AMG setup. All
@@ -134,7 +184,7 @@ func BuildWithStats(a *sparse.CSR, opt Options) (*Hierarchy, *SetupStats, error)
 	}
 	st := &SetupStats{}
 	start := time.Now()
-	h := &Hierarchy{}
+	h := &Hierarchy{Precision: opt.CoarsePrecision}
 	cur := a
 	// Function map for the unknown approach (nil for scalar problems).
 	var fun []int
@@ -214,8 +264,59 @@ func BuildWithStats(a *sparse.CSR, opt Options) (*Hierarchy, *SetupStats, error)
 // GridSizes returns the number of rows on each level, finest first.
 func (h *Hierarchy) GridSizes() []int {
 	out := make([]int, len(h.Levels))
-	for i, l := range h.Levels {
-		out[i] = l.A.Rows
+	for i := range h.Levels {
+		out[i] = h.Levels[i].Rows()
 	}
 	return out
+}
+
+// BuildOperator runs the setup phase on an arbitrary fine-level operator.
+func BuildOperator(a op.Operator, opt Options) (*Hierarchy, error) {
+	h, _, err := BuildOperatorWithStats(a, opt)
+	return h, err
+}
+
+// BuildOperatorWithStats is the operator-generic setup entry. A fine
+// operator backed by float64 CSR takes the standard algebraic path
+// (BuildWithStats on the matrix). A matrix-free operator must implement
+// op.Coarsenable: its own geometric first coarsening produces the level-1
+// Galerkin matrix A₁ = P₀ᵀ A P₀ as CSR — the fine matrix is never
+// materialized — and the algebraic setup continues from A₁. The returned
+// hierarchy has the matrix-free operator as level 0 (Op/Itp views) and
+// the algebraic hierarchy of A₁ below it.
+func BuildOperatorWithStats(a op.Operator, opt Options) (*Hierarchy, *SetupStats, error) {
+	if m := op.AsCSR(a); m != nil {
+		return BuildWithStats(m, opt)
+	}
+	c, ok := a.(op.Coarsenable)
+	if !ok {
+		return nil, nil, fmt.Errorf("amg: operator %T is neither CSR-backed nor Coarsenable", a)
+	}
+	if opt.MaxLevels < 2 {
+		return nil, nil, fmt.Errorf("amg: matrix-free setup needs MaxLevels >= 2, got %d", opt.MaxLevels)
+	}
+	start := time.Now()
+	t0 := time.Now()
+	itp, a1, err := c.Coarsen()
+	if err != nil {
+		return nil, nil, fmt.Errorf("amg: geometric coarsening: %w", err)
+	}
+	rap := time.Since(t0)
+	sub := opt
+	sub.MaxLevels = opt.MaxLevels - 1
+	// Aggressive coarsening counts from the finest algebraic level; the
+	// geometric level already did one (2h) coarsening step, so consume one
+	// aggressive level if configured.
+	if sub.AggressiveLevels > 0 {
+		sub.AggressiveLevels--
+	}
+	h, st, err := BuildWithStats(a1, sub)
+	if err != nil {
+		return nil, nil, err
+	}
+	h.Levels = append([]Level{{Op: a, Itp: itp}}, h.Levels...)
+	st.RAP += rap
+	st.Total = time.Since(start)
+	st.Levels = len(h.Levels)
+	return h, st, nil
 }

@@ -339,7 +339,7 @@ func solveAdditive(ctx context.Context, s *mg.Setup, b []float64, cfg Config) (*
 	x := make([]float64, rt.n)
 	rt.x.Snapshot(x)
 	res := make([]float64, rt.n)
-	s.H.Levels[0].A.Residual(res, b, x)
+	s.Ops[0].Residual(res, b, x)
 	nb := vec.Norm2(b)
 	if nb == 0 {
 		nb = 1
@@ -367,23 +367,23 @@ func solveAdditive(ctx context.Context, s *mg.Setup, b []float64, cfg Config) (*
 // residual computation it is responsible for.
 func gridWork(s *mg.Setup, cfg Config, k int) float64 {
 	w := 0.0
-	chain := s.PBar
+	chain := s.SItp
 	if cfg.Method == mg.AFACx {
-		chain = s.P
+		chain = s.Itp
 	}
 	for j := 0; j < k; j++ {
-		w += 2 * float64(chain[j].NNZ()) // restrict + prolong
+		w += 2 * float64(chain[j].NNZEquivalent()) // restrict + prolong
 	}
-	w += float64(s.H.Levels[k].A.NNZ()) // smoothing at level k
+	w += float64(s.Ops[k].NNZEquivalent()) // smoothing at level k
 	if cfg.Method == mg.AFACx && k < s.NumLevels()-1 {
 		// e_{k+1} smoothing plus the modified-RHS SpMV.
-		w += float64(s.H.Levels[k+1].A.NNZ()) + float64(s.P[k].NNZ()) + float64(s.H.Levels[k].A.NNZ())
+		w += float64(s.Ops[k+1].NNZEquivalent()) + float64(s.Itp[k].NNZEquivalent()) + float64(s.Ops[k].NNZEquivalent())
 	}
 	switch {
 	case cfg.Sync || cfg.Res == LocalRes:
-		w += float64(s.H.Levels[0].A.NNZ()) // full fine residual per grid
+		w += float64(s.Ops[0].NNZEquivalent()) // full fine residual per grid
 	default:
-		w += float64(s.H.Levels[0].A.NNZ()) / float64(s.NumLevels())
+		w += float64(s.Ops[0].NNZEquivalent()) / float64(s.NumLevels())
 	}
 	return w
 }

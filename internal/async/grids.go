@@ -4,8 +4,17 @@ import (
 	"math"
 	"runtime"
 
+	"asyncmg/internal/op"
 	"asyncmg/internal/smoother"
 )
+
+// fineAtomic returns the fine operator's atomic-residual face. Every fine
+// operator the engine builds implements it (the CSR adapter and the
+// matrix-free stencils); the assertion documents the requirement for
+// hand-built operators.
+func (rt *solverState) fineAtomic() op.AtomicResidualer {
+	return rt.s.Ops[0].(op.AtomicResidualer)
+}
 
 // runAsync is the per-thread body of the asynchronous additive solve
 // (Algorithm 5). Each grid team loops: restrict its local residual to its
@@ -107,15 +116,8 @@ func (g *gridRun) runSync(tid int) {
 		rt.globalBarrier.Wait()
 		// Global residual recompute: each thread owns a static slice of all
 		// fine rows (OpenMP static schedule).
-		a := rt.s.H.Levels[0].A
 		gr := g.globalRanges[tid]
-		for i := gr.Lo; i < gr.Hi; i++ {
-			s := rt.b[i]
-			for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
-				s -= a.Vals[p] * rt.x.Load(a.ColIdx[p])
-			}
-			rt.r.Store(i, s)
-		}
+		rt.fineAtomic().ResidualAtomicRange(rt.r, rt.b, rt.x, gr.Lo, gr.Hi)
 		// One designated thread folds context cancellation into the stop
 		// flag; the store is sequenced before the barrier every thread
 		// passes below, so the post-barrier loads agree and all threads
@@ -280,7 +282,6 @@ func (g *gridRun) readX(tid int) {
 // global residual (Equations 9/10).
 func (g *gridRun) publishResidual(tid int, out []float64) {
 	rt := g.rt
-	a := rt.s.H.Levels[0].A
 	fr := g.fineRanges[tid]
 	switch rt.cfg.Res {
 	case LocalRes:
@@ -291,18 +292,12 @@ func (g *gridRun) publishResidual(tid int, out []float64) {
 		// stale — the defining weakness of global-res. "No Wait": no
 		// barrier with other teams.
 		gr := g.globalRanges[tid]
-		for i := gr.Lo; i < gr.Hi; i++ {
-			s := rt.b[i]
-			for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
-				s -= a.Vals[p] * rt.x.Load(a.ColIdx[p])
-			}
-			rt.r.Store(i, s)
-		}
+		rt.fineAtomic().ResidualAtomicRange(rt.r, rt.b, rt.x, gr.Lo, gr.Hi)
 	case ResidualRes:
 		// r ← r − A e with the configured write mode (the A·e support
 		// overlaps other grids' rows, so this is a racing update).
 		ae := g.lvl[0]
-		a.MatVecRange(ae, out, fr.Lo, fr.Hi)
+		rt.s.Ops[0].ApplyRange(ae, out, fr.Lo, fr.Hi)
 		g.team.Wait()
 		if rt.cfg.Write == LockWrite {
 			if tid == 0 {
@@ -335,11 +330,10 @@ func (g *gridRun) publishResidual(tid int, out []float64) {
 // memory (Algorithm 5 lines 13 / 18).
 func (g *gridRun) acquireResidual(tid int) {
 	rt := g.rt
-	a := rt.s.H.Levels[0].A
 	fr := g.fineRanges[tid]
 	switch rt.cfg.Res {
 	case LocalRes:
-		a.ResidualRange(g.rk, rt.b, g.xk, fr.Lo, fr.Hi)
+		rt.s.Ops[0].ResidualRange(g.rk, rt.b, g.xk, fr.Lo, fr.Hi)
 	case GlobalRes, ResidualRes:
 		rt.r.LoadRange(g.rk, fr.Lo, fr.Hi)
 	}

@@ -86,8 +86,7 @@ func solveMult(ctx context.Context, s *mg.Setup, b []float64, cfg Config) (*Resu
 			bar.Wait()
 			return
 		}
-		ak := s.H.Levels[k].A
-		ak.ResidualRange(tmp[k], r[k], e[k], rg.Lo, rg.Hi)
+		s.Ops[k].ResidualRange(tmp[k], r[k], e[k], rg.Lo, rg.Hi)
 		bar.Wait()
 		smos[k].SweepBlockFromResidual(e[k], tmp[k], tid)
 		bar.Wait()
@@ -100,7 +99,7 @@ func solveMult(ctx context.Context, s *mg.Setup, b []float64, cfg Config) (*Resu
 		wg.Add(1)
 		go func(tid int) {
 			defer wg.Done()
-			a0 := s.H.Levels[0].A
+			a0 := s.Ops[0]
 			fr := ranges[0][tid]
 			for cyc := 0; cyc < cfg.MaxCycles; cyc++ {
 				// Thread 0 folds context cancellation into a stop flag
@@ -118,12 +117,11 @@ func solveMult(ctx context.Context, s *mg.Setup, b []float64, cfg Config) (*Resu
 				// Downward sweep.
 				for k := 0; k < l-1; k++ {
 					preSmooth(tid, k)
-					ak := s.H.Levels[k].A
 					rg := ranges[k][tid]
-					ak.ResidualRange(tmp[k], r[k], e[k], rg.Lo, rg.Hi)
+					s.Ops[k].ResidualRange(tmp[k], r[k], e[k], rg.Lo, rg.Hi)
 					bar.Wait()
 					rgc := ranges[k+1][tid]
-					s.PT[k].MatVecRange(r[k+1], tmp[k], rgc.Lo, rgc.Hi)
+					s.Itp[k].ApplyTRange(r[k+1], tmp[k], rgc.Lo, rgc.Hi)
 					bar.Wait()
 				}
 				// Coarsest solve by thread 0.
@@ -134,7 +132,7 @@ func solveMult(ctx context.Context, s *mg.Setup, b []float64, cfg Config) (*Resu
 				// Upward sweep.
 				for k := l - 2; k >= 0; k-- {
 					rg := ranges[k][tid]
-					s.P[k].MatVecRange(tmp[k], e[k+1], rg.Lo, rg.Hi)
+					s.Itp[k].ApplyRange(tmp[k], e[k+1], rg.Lo, rg.Hi)
 					for i := rg.Lo; i < rg.Hi; i++ {
 						e[k][i] += tmp[k][i]
 					}
@@ -168,7 +166,7 @@ func solveMult(ctx context.Context, s *mg.Setup, b []float64, cfg Config) (*Resu
 	}
 
 	res := make([]float64, n)
-	s.H.Levels[0].A.Residual(res, b, x)
+	s.Ops[0].Residual(res, b, x)
 	nb := vec.Norm2(b)
 	if nb == 0 {
 		nb = 1

@@ -246,7 +246,7 @@ func Solve(ctx context.Context, s *mg.Setup, b []float64, cfg Config) (*Result, 
 		bcEvery = 1
 	}
 	l := s.NumLevels()
-	a := s.H.Levels[0].A
+	a := s.Ops[0]
 	maxCorr := cfg.MaxCorrections
 	lead := cfg.MaxLead
 	if lead == 0 {
@@ -436,7 +436,7 @@ func Solve(ctx context.Context, s *mg.Setup, b []float64, cfg Config) (*Result, 
 			counts[c.grid]++
 			vec.Axpy(1, x, c.c)
 			// Residual-based update: r ← r − A c.
-			a.MatVec(ac, c.c)
+			a.Apply(ac, c.c)
 			vec.Axpy(-1, r, ac)
 			applied++
 			rnorm := vec.Norm2(r)

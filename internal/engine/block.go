@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sync"
 
+	"asyncmg/internal/op"
 	"asyncmg/internal/vec"
 )
 
@@ -88,7 +89,10 @@ func (s *Engine) blockPool(k int) *sync.Pool {
 
 // CanBlockCycle reports whether method m has a fused block path on this
 // engine: Mult or Multadd with diagonal (Jacobi-type) smoothers on every
-// level. Other configurations still solve through SolveBlockCtx, but
+// level, and every level operator and interpolant the method touches
+// providing the multi-RHS capability (CSR and float32 CSR do; the
+// matrix-free stencil operators and composed smoothed interpolants do
+// not). Other configurations still solve through SolveBlockCtx, but
 // column by column.
 func (s *Engine) CanBlockCycle(m Method) bool {
 	if m != Mult && m != Multadd {
@@ -99,7 +103,34 @@ func (s *Engine) CanBlockCycle(m Method) bool {
 			return false
 		}
 	}
+	for _, a := range s.Ops {
+		if _, ok := a.(op.BlockOperator); !ok {
+			return false
+		}
+	}
+	itp := s.Itp
+	if m == Multadd {
+		itp = s.SItp
+	}
+	for _, t := range itp {
+		if _, ok := t.(op.BlockInterp); !ok {
+			return false
+		}
+	}
 	return true
+}
+
+// blockOp returns level k's operator as its multi-RHS face; only valid
+// after CanBlockCycle.
+func (s *Engine) blockOp(k int) op.BlockOperator { return s.Ops[k].(op.BlockOperator) }
+
+// blockItp returns the plain (or, for sbar, smoothed) interpolant of
+// level pair k as its multi-RHS face; only valid after CanBlockCycle.
+func (s *Engine) blockItp(k int, sbar bool) op.BlockInterp {
+	if sbar {
+		return s.SItp[k].(op.BlockInterp)
+	}
+	return s.Itp[k].(op.BlockInterp)
 }
 
 // blockScale computes e[i*k+c] = d[i] * r[i*k+c]: the zero-guess diagonal
@@ -171,24 +202,23 @@ func (s *Engine) blockCoarseSolve(e, r []float64, k int, w *BlockWorkspace) {
 // diagonal smoothers on every level (CanBlockCycle(Mult)).
 func (s *Engine) BlockMultCycle(x, b []float64, k int, w *BlockWorkspace) {
 	l := s.NumLevels()
-	s.H.Levels[0].A.ResidualBlockPar(w.r[0], b, x, k)
+	s.blockOp(0).ResidualBlock(w.r[0], b, x, k)
 	for lev := 0; lev < l-1; lev++ {
-		ak := s.H.Levels[lev].A
+		ak := s.blockOp(lev)
 		id := s.Smo[lev].InvDiag()
 		// Pre-smooth from zero guess, post-smoothing residual, restrict:
 		// the block form of the fused down-leg, step for step.
 		blockScale(w.e[lev], id, w.r[lev], k)
-		ak.ResidualBlockPar(w.tmp[lev], w.r[lev], w.e[lev], k)
-		s.PT[lev].MatVecBlockPar(w.r[lev+1], w.tmp[lev], k)
+		ak.ResidualBlock(w.tmp[lev], w.r[lev], w.e[lev], k)
+		s.blockItp(lev, false).ApplyTBlock(w.r[lev+1], w.tmp[lev], k)
 		s.obs.Relaxed(lev, int64(k))
 	}
 	s.blockCoarseSolve(w.e[l-1], w.r[l-1], k, w)
 	s.obs.Relaxed(l-1, int64(k))
 	for lev := l - 2; lev >= 0; lev-- {
-		s.P[lev].MatVecAddBlockPar(w.e[lev], w.e[lev+1], k)
+		s.blockItp(lev, false).ApplyAddBlock(w.e[lev], w.e[lev+1], k)
 		// Post-smoothing sweep e += D⁻¹ (r − A e).
-		ak := s.H.Levels[lev].A
-		ak.ResidualBlockPar(w.tmp[lev], w.r[lev], w.e[lev], k)
+		s.blockOp(lev).ResidualBlock(w.tmp[lev], w.r[lev], w.e[lev], k)
 		blockScaleAdd(w.e[lev], s.Smo[lev].InvDiag(), w.tmp[lev], k)
 		s.obs.Relaxed(lev, int64(k))
 	}
@@ -200,9 +230,9 @@ func (s *Engine) BlockMultCycle(x, b []float64, k int, w *BlockWorkspace) {
 // right-hand sides. Requires diagonal smoothers (CanBlockCycle(Multadd)).
 func (s *Engine) BlockMultaddCycle(x, b []float64, k int, w *BlockWorkspace) {
 	l := s.NumLevels()
-	s.H.Levels[0].A.ResidualBlockPar(w.r[0], b, x, k)
+	s.blockOp(0).ResidualBlock(w.r[0], b, x, k)
 	for lev := 0; lev < l-1; lev++ {
-		s.PBarT[lev].MatVecBlockPar(w.r[lev+1], w.r[lev], k)
+		s.blockItp(lev, true).ApplyTBlock(w.r[lev+1], w.r[lev], k)
 	}
 	for lev := 0; lev < l; lev++ {
 		if lev == l-1 {
@@ -213,7 +243,7 @@ func (s *Engine) BlockMultaddCycle(x, b []float64, k int, w *BlockWorkspace) {
 		s.obs.Relaxed(lev, int64(k))
 		cur := w.e[lev]
 		for j := lev - 1; j >= 0; j-- {
-			s.PBar[j].MatVecBlockPar(w.tmp[j], cur, k)
+			s.blockItp(j, true).ApplyBlock(w.tmp[j], cur, k)
 			cur = w.tmp[j]
 		}
 		vec.AxpyPar(1, x, cur)
@@ -320,7 +350,7 @@ func (s *Engine) SolveBlockCtx(ctx context.Context, m Method, b []float64, k, tm
 				}
 			}
 		}
-		s.H.Levels[0].A.ResidualBlockPar(rblk, b, x, k)
+		s.blockOp(0).ResidualBlock(rblk, b, x, k)
 		for c := 0; c < k; c++ {
 			if frozen != nil && frozen[c] {
 				continue

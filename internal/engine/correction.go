@@ -11,7 +11,7 @@ package engine
 import (
 	"fmt"
 
-	"asyncmg/internal/sparse"
+	"asyncmg/internal/op"
 	"asyncmg/internal/vec"
 )
 
@@ -57,12 +57,12 @@ type CorrBuffers struct {
 // caller until the correction completes.
 func (s *Engine) Correction(method Method, k int, rfine []float64, b *CorrBuffers, site Site) []float64 {
 	l := s.NumLevels()
-	var chain, chainT []*sparse.CSR
+	var chain []op.Interp
 	switch method {
 	case Multadd:
-		chain, chainT = s.PBar, s.PBarT
+		chain = s.SItp
 	case AFACx:
-		chain, chainT = s.P, s.PT
+		chain = s.Itp
 	default:
 		panic(fmt.Sprintf("mg: GridCorrection does not support method %v", method))
 	}
@@ -71,7 +71,7 @@ func (s *Engine) Correction(method Method, k int, rfine []float64, b *CorrBuffer
 	for j := 0; j < k; j++ {
 		dst := b.Lvl[j+1]
 		lo, hi := site.Span(j + 1)
-		chainT[j].MatVecRange(dst, cur, lo, hi)
+		chain[j].ApplyTRange(dst, cur, lo, hi)
 		site.Sync()
 		cur = dst
 	}
@@ -85,7 +85,7 @@ func (s *Engine) Correction(method Method, k int, rfine []float64, b *CorrBuffer
 		// One sweep on the next-coarser equations from a zero guess.
 		rkp1 := b.Lvl[k+1]
 		lo, hi := site.Span(k + 1)
-		s.PT[k].MatVecRange(rkp1, cur, lo, hi)
+		s.Itp[k].ApplyTRange(rkp1, cur, lo, hi)
 		site.Sync()
 		ec := b.Lvl2[k+1]
 		site.Smooth(k+1, ec, rkp1)
@@ -93,17 +93,12 @@ func (s *Engine) Correction(method Method, k int, rfine []float64, b *CorrBuffer
 		// not needed again until the prolongation overwrites it).
 		pe := b.Lvl2[k]
 		lo, hi = site.Span(k)
-		s.P[k].MatVecRange(pe, ec, lo, hi)
+		s.Itp[k].ApplyRange(pe, ec, lo, hi)
 		site.Sync()
 		mod := b.Mod[:s.LevelSize(k)]
-		ak := s.H.Levels[k].A
-		for i := lo; i < hi; i++ {
-			sum := cur[i]
-			for p := ak.RowPtr[i]; p < ak.RowPtr[i+1]; p++ {
-				sum -= ak.Vals[p] * pe[ak.ColIdx[p]]
-			}
-			mod[i] = sum
-		}
+		// mod[lo:hi] = (cur − A_k pe)[lo:hi]: the residual-range kernel has
+		// the exact summation shape of the raw CSR loop this replaced.
+		s.Ops[k].ResidualRange(mod, cur, pe, lo, hi)
 		site.Sync()
 		site.Smooth(k, e, mod)
 	}
@@ -112,7 +107,7 @@ func (s *Engine) Correction(method Method, k int, rfine []float64, b *CorrBuffer
 	for j := k - 1; j >= 0; j-- {
 		dst := b.Lvl2[j]
 		lo, hi := site.Span(j)
-		chain[j].MatVecRange(dst, out, lo, hi)
+		chain[j].ApplyRange(dst, out, lo, hi)
 		site.Sync()
 		out = dst
 	}

@@ -15,7 +15,7 @@ import (
 	"math"
 	"math/rand"
 
-	"asyncmg/internal/sparse"
+	"asyncmg/internal/op"
 	"asyncmg/internal/vec"
 )
 
@@ -40,20 +40,20 @@ func (s *Engine) Cycle(m Method, x, b []float64, w *Workspace) {
 // the coarsest grid, prolong and post-smooth back up, then correct x.
 func (s *Engine) MultCycle(x, b []float64, w *Workspace) {
 	l := s.NumLevels()
-	a0 := s.H.Levels[0].A
-	a0.ResidualPar(w.r[0], b, x)
+	a0 := s.Ops[0]
+	a0.Residual(w.r[0], b, x)
 	// Downward sweep. For diagonal smoothers the pre-smooth, the
 	// post-smoothing residual and the restriction fuse into one matrix
 	// sweep; block smoothers take the two-step path.
 	for k := 0; k < l-1; k++ {
-		ak := s.H.Levels[k].A
+		ak := s.Ops[k]
 		if id := s.Smo[k].InvDiag(); id != nil {
-			sparse.FusedJacobiResidualRestrict(ak, s.P[k], s.PT[k], w.e[k], w.r[k+1], id, w.r[k], w.tmp[k])
+			op.FusedJacobiResidualRestrict(ak, s.Itp[k], w.e[k], w.r[k+1], id, w.r[k], w.tmp[k])
 		} else {
 			vec.Zero(w.e[k])
 			s.Smo[k].Apply(w.e[k], w.r[k]) // pre-smoothing from zero guess
 			// r_{k+1} = Pᵀ (r_k − A_k e_k)
-			sparse.FusedResidualRestrict(ak, s.P[k], s.PT[k], w.r[k+1], w.r[k], w.e[k], w.tmp[k])
+			op.FusedResidualRestrict(ak, s.Itp[k], w.r[k+1], w.r[k], w.e[k], w.tmp[k])
 		}
 		s.obs.Relaxed(k, 1)
 	}
@@ -63,7 +63,7 @@ func (s *Engine) MultCycle(x, b []float64, w *Workspace) {
 	// Upward sweep.
 	for k := l - 2; k >= 0; k-- {
 		// e_k += P e_{k+1}
-		s.P[k].MatVecAddPar(w.e[k], w.e[k+1])
+		s.Itp[k].ApplyAdd(w.e[k], w.e[k+1])
 		// e_k += Λ_k (r_k − A_k e_k): post-smoothing.
 		s.Smo[k].Sweep(w.e[k], w.r[k], w.tmp[k])
 		s.obs.Relaxed(k, 1)
@@ -81,10 +81,10 @@ func (s *Engine) MultCycle(x, b []float64, w *Workspace) {
 // prolongated back up and added into x.
 func (s *Engine) MultaddCycle(x, b []float64, w *Workspace) {
 	l := s.NumLevels()
-	s.H.Levels[0].A.ResidualPar(w.r[0], b, x)
+	s.Ops[0].Residual(w.r[0], b, x)
 	// Cascade restrictions with the smoothed interpolants.
 	for k := 0; k < l-1; k++ {
-		s.PBarT[k].MatVecPar(w.r[k+1], w.r[k])
+		s.SItp[k].ApplyT(w.r[k+1], w.r[k])
 	}
 	for k := 0; k < l; k++ {
 		// Grid k's correction at its own level.
@@ -98,7 +98,7 @@ func (s *Engine) MultaddCycle(x, b []float64, w *Workspace) {
 		// Prolongate to the finest level through the smoothed chain.
 		cur := w.e[k]
 		for j := k - 1; j >= 0; j-- {
-			s.PBar[j].MatVecPar(w.tmp[j], cur)
+			s.SItp[j].Apply(w.tmp[j], cur)
 			cur = w.tmp[j]
 		}
 		vec.AxpyPar(1, x, cur)
@@ -141,9 +141,9 @@ func (s *Engine) AFACxCycleSweeps(x, b []float64, w *Workspace, s1, s2 int) {
 		panic(fmt.Sprintf("mg: AFACx sweep counts must be >= 1, got (%d/%d)", s1, s2))
 	}
 	l := s.NumLevels()
-	s.H.Levels[0].A.ResidualPar(w.r[0], b, x)
+	s.Ops[0].Residual(w.r[0], b, x)
 	for k := 0; k < l-1; k++ {
-		s.PT[k].MatVecPar(w.r[k+1], w.r[k])
+		s.Itp[k].ApplyT(w.r[k+1], w.r[k])
 	}
 	for k := 0; k < l; k++ {
 		if k == l-1 {
@@ -160,10 +160,12 @@ func (s *Engine) AFACxCycleSweeps(x, b []float64, w *Workspace, s1, s2 int) {
 			// P e_{k+1} equal P e_{k+1} plus s1 sweeps from zero on this
 			// modified system, so the redundant prolongations cancel.)
 			pe := w.e[k] // reuse e_k as scratch for P e_{k+1}
-			s.P[k].MatVecPar(pe, ec)
-			ak := s.H.Levels[k].A
+			s.Itp[k].Apply(pe, ec)
+			ak := s.Ops[k]
 			mod := w.tmp[k]
-			ak.MatVecPar(mod, pe)
+			// Apply-then-subtract, not Residual: the subtraction order here
+			// is the one the golden histories pin.
+			ak.Apply(mod, pe)
 			for i := range mod {
 				mod[i] = w.r[k][i] - mod[i]
 			}
@@ -177,7 +179,7 @@ func (s *Engine) AFACxCycleSweeps(x, b []float64, w *Workspace, s1, s2 int) {
 		// Prolongate grid k's correction to the finest level (plain P).
 		cur := w.e[k]
 		for j := k - 1; j >= 0; j-- {
-			s.P[j].MatVecPar(w.tmp[j], cur)
+			s.Itp[j].Apply(w.tmp[j], cur)
 			cur = w.tmp[j]
 		}
 		vec.AxpyPar(1, x, cur)
@@ -201,9 +203,9 @@ func (s *Engine) smoothSweeps(k int, e, r, scratch []float64, sweeps int) {
 // is exposed for the ablation benchmarks and for use as a preconditioner.
 func (s *Engine) BPXCycle(x, b []float64, w *Workspace) {
 	l := s.NumLevels()
-	s.H.Levels[0].A.ResidualPar(w.r[0], b, x)
+	s.Ops[0].Residual(w.r[0], b, x)
 	for k := 0; k < l-1; k++ {
-		s.PT[k].MatVecPar(w.r[k+1], w.r[k])
+		s.Itp[k].ApplyT(w.r[k+1], w.r[k])
 	}
 	for k := 0; k < l; k++ {
 		if k == l-1 {
@@ -215,7 +217,7 @@ func (s *Engine) BPXCycle(x, b []float64, w *Workspace) {
 		s.obs.Relaxed(k, 1)
 		cur := w.e[k]
 		for j := k - 1; j >= 0; j-- {
-			s.P[j].MatVecPar(w.tmp[j], cur)
+			s.Itp[j].Apply(w.tmp[j], cur)
 			cur = w.tmp[j]
 		}
 		vec.AxpyPar(1, x, cur)
@@ -256,7 +258,7 @@ func (s *Engine) SolveCtx(ctx context.Context, m Method, b []float64, tmax int) 
 			return x, hist, err
 		}
 		s.Cycle(m, x, b, w)
-		s.H.Levels[0].A.ResidualPar(r, b, x)
+		s.Ops[0].Residual(r, b, x)
 		rel := vec.Norm2(r) / nb
 		hist = append(hist, rel)
 		s.obs.CycleDone(rel)
@@ -276,9 +278,9 @@ func (s *Engine) SolveCtx(ctx context.Context, m Method, b []float64, tmax int) 
 // Only diagonal smoothers are supported (see smoother.ApplySymmetrized).
 func (s *Engine) MultaddCycleSymmetrized(x, b []float64, w *Workspace) {
 	l := s.NumLevels()
-	s.H.Levels[0].A.ResidualPar(w.r[0], b, x)
+	s.Ops[0].Residual(w.r[0], b, x)
 	for k := 0; k < l-1; k++ {
-		s.PBarT[k].MatVecPar(w.r[k+1], w.r[k])
+		s.SItp[k].ApplyT(w.r[k+1], w.r[k])
 	}
 	for k := 0; k < l; k++ {
 		if k == l-1 {
@@ -291,7 +293,7 @@ func (s *Engine) MultaddCycleSymmetrized(x, b []float64, w *Workspace) {
 		}
 		cur := w.e[k]
 		for j := k - 1; j >= 0; j-- {
-			s.PBar[j].MatVecPar(w.tmp[j], cur)
+			s.SItp[j].Apply(w.tmp[j], cur)
 			cur = w.tmp[j]
 		}
 		vec.AxpyPar(1, x, cur)
@@ -306,14 +308,14 @@ func (s *Engine) MultaddCycleSymmetrized(x, b []float64, w *Workspace) {
 // comparing against the paper's fully asynchronous additive methods.
 func (s *Engine) MultCycleSawtooth(x, b []float64, w *Workspace) {
 	l := s.NumLevels()
-	s.H.Levels[0].A.ResidualPar(w.r[0], b, x)
+	s.Ops[0].Residual(w.r[0], b, x)
 	for k := 0; k < l-1; k++ {
-		s.PT[k].MatVecPar(w.r[k+1], w.r[k])
+		s.Itp[k].ApplyT(w.r[k+1], w.r[k])
 	}
 	s.CoarseSolveScratch(w.e[l-1], w.r[l-1], w.tmp[l-1])
 	s.obs.Relaxed(l-1, 1)
 	for k := l - 2; k >= 0; k-- {
-		s.P[k].MatVecPar(w.e[k], w.e[k+1])
+		s.Itp[k].Apply(w.e[k], w.e[k+1])
 		s.Smo[k].Sweep(w.e[k], w.r[k], w.tmp[k])
 		s.obs.Relaxed(k, 1)
 	}
@@ -330,21 +332,21 @@ func (s *Engine) MultCycleSweeps(x, b []float64, w *Workspace, s1, s2 int) {
 		panic(fmt.Sprintf("mg: V(%d,%d) needs non-negative sweep counts with at least one sweep", s1, s2))
 	}
 	l := s.NumLevels()
-	a0 := s.H.Levels[0].A
-	a0.ResidualPar(w.r[0], b, x)
+	a0 := s.Ops[0]
+	a0.Residual(w.r[0], b, x)
 	for k := 0; k < l-1; k++ {
-		ak := s.H.Levels[k].A
+		ak := s.Ops[k]
 		vec.Zero(w.e[k])
 		if s1 > 0 {
 			s.smoothSweeps(k, w.e[k], w.r[k], w.tmp[k], s1)
 			s.obs.Relaxed(k, int64(s1))
 		}
-		sparse.FusedResidualRestrict(ak, s.P[k], s.PT[k], w.r[k+1], w.r[k], w.e[k], w.tmp[k])
+		op.FusedResidualRestrict(ak, s.Itp[k], w.r[k+1], w.r[k], w.e[k], w.tmp[k])
 	}
 	s.CoarseSolveScratch(w.e[l-1], w.r[l-1], w.tmp[l-1])
 	s.obs.Relaxed(l-1, 1)
 	for k := l - 2; k >= 0; k-- {
-		s.P[k].MatVecAddPar(w.e[k], w.e[k+1])
+		s.Itp[k].ApplyAdd(w.e[k], w.e[k+1])
 		for t := 0; t < s2; t++ {
 			s.Smo[k].Sweep(w.e[k], w.r[k], w.tmp[k])
 		}

@@ -20,6 +20,7 @@ import (
 
 	"asyncmg/internal/amg"
 	"asyncmg/internal/obs"
+	"asyncmg/internal/op"
 	"asyncmg/internal/smoother"
 	"asyncmg/internal/sparse"
 	"asyncmg/internal/vec"
@@ -66,11 +67,22 @@ type Engine struct {
 	// (AFACx smooths there; Mult/Multadd use the exact solve when
 	// available).
 	Smo []*smoother.S
+	// Ops[k] is the operator view of level k the cycles run on: a CSR
+	// adapter in the default float64 configuration, the hierarchy's
+	// matrix-free operator on a stencil fine level, or a float32 re-store
+	// on compressed coarse levels.
+	Ops []op.Operator
+	// Itp[k] is the plain interpolant view for level pair k/k+1; SItp[k]
+	// the smoothed interpolant view P̄ = (I − diag(s_k) A_k) P[k] that
+	// Multadd's correction chains use. len == levels-1.
+	Itp, SItp []op.Interp
 	// P[k] prolongates level k+1 -> k (plain interpolants); PT[k] is its
-	// transpose. len == levels-1.
+	// transpose. len == levels-1. Populated only in the default float64
+	// configuration (matrix-free and compressed interpolants live in
+	// Itp/SItp alone); retained for consumers that need row storage.
 	P, PT []*sparse.CSR
 	// PBar[k] = (I − diag(s_k) A_k) P[k] are Multadd's smoothed two-level
-	// interpolants; PBarT[k] their transposes.
+	// interpolants; PBarT[k] their transposes. Like P/PT, float64 mode only.
 	PBar, PBarT []*sparse.CSR
 	// Cfg is the smoother configuration used on every level.
 	Cfg smoother.Config
@@ -125,26 +137,50 @@ func New(a *sparse.CSR, amgOpt amg.Options, smoCfg smoother.Config) (*Engine, er
 		return nil, err
 	}
 	eng.Setup = st
+	// The hierarchy was built here and is exclusively this engine's, so a
+	// compressed view may drop the float64 copies it replaced.
+	eng.ReleaseFloat64Storage()
 	return eng, nil
 }
 
 // NewFromHierarchy builds solver operators on an existing hierarchy.
+// The hierarchy's Precision policy is applied here: with CoarseFloat32
+// the coarse operators (k >= 1) and every interpolant are re-stored in
+// float32 (float64 accumulation) for the engine's view; the setup-built
+// float64 matrices stay on the hierarchy untouched (see
+// ReleaseFloat64Storage for dropping them when the engine owns it).
 func NewFromHierarchy(h *amg.Hierarchy, smoCfg smoother.Config) (*Engine, error) {
 	l := h.NumLevels()
 	s := &Engine{H: h, Cfg: smoCfg}
-	// Cache the matrix-derived vectors once per level; smoother
-	// construction and interpolant scaling below both read them.
+	f32 := h.Precision == op.CoarseFloat32
+	// Operator views: the default path wraps each CSR level once, a
+	// matrix-free fine level passes through, and compressed coarse levels
+	// convert to float32 storage.
+	s.Ops = make([]op.Operator, l)
+	for k := 0; k < l; k++ {
+		a := h.Levels[k].Operator()
+		if f32 && k >= 1 {
+			if m := op.AsCSR(a); m != nil {
+				a = op.NewCSR32(m)
+			}
+		}
+		s.Ops[k] = a
+	}
+	// Cache the operator-derived vectors once per level; smoother
+	// construction and interpolant scaling below both read them. On
+	// compressed levels the diagonal comes from the float32 store, so the
+	// smoother and the matrix it sweeps agree on precision.
 	s.diag = make([][]float64, l)
 	s.rowL1 = make([][]float64, l)
 	for k := 0; k < l; k++ {
-		s.diag[k] = h.Levels[k].A.Diag()
+		s.diag[k] = s.Ops[k].Diag()
 		if smoCfg.Kind == smoother.L1Jacobi {
-			s.rowL1[k] = h.Levels[k].A.RowL1Norms()
+			s.rowL1[k] = s.Ops[k].RowL1Norms()
 		}
 	}
 	s.Smo = make([]*smoother.S, l)
 	for k := 0; k < l; k++ {
-		sm, err := smoother.NewWith(h.Levels[k].A, smoCfg, s.Pre(k))
+		sm, err := smoother.NewOperator(s.Ops[k], smoCfg, s.Pre(k))
 		if err != nil {
 			return nil, fmt.Errorf("mg: level %d smoother: %w", k, err)
 		}
@@ -154,36 +190,119 @@ func NewFromHierarchy(h *amg.Hierarchy, smoCfg smoother.Config) (*Engine, error)
 	s.PT = make([]*sparse.CSR, l-1)
 	s.PBar = make([]*sparse.CSR, l-1)
 	s.PBarT = make([]*sparse.CSR, l-1)
+	s.Itp = make([]op.Interp, l-1)
+	s.SItp = make([]op.Interp, l-1)
 	for k := 0; k < l-1; k++ {
-		p := h.Levels[k].P
-		s.P[k] = p
-		// The setup phase caches Pᵀ on the level (it already needed it for
-		// the Galerkin product); only hand-built hierarchies lack it.
-		if pt := h.Levels[k].PT; pt != nil {
-			s.PT[k] = pt
-		} else {
-			s.PT[k] = p.Transpose()
-		}
-		scale, err := smoother.InterpolantScalingWith(h.Levels[k].A, smoCfg, s.Pre(k))
+		scale, err := smoother.InterpolantScalingOp(s.Ops[k], smoCfg, s.Pre(k))
 		if err != nil {
 			return nil, fmt.Errorf("mg: level %d interpolant scaling: %w", k, err)
+		}
+		if itp := h.Levels[k].Itp; itp != nil {
+			// Matrix-free interpolant: the plain view comes from the
+			// hierarchy and the smoothed view is composed on the fly — P̄
+			// and P̄ᵀ are never materialized on this level.
+			s.Itp[k] = itp
+			s.SItp[k] = op.NewSmoothedInterp(s.Ops[k], itp, scale)
+			continue
+		}
+		p := h.Levels[k].P
+		// The setup phase caches Pᵀ on the level (it already needed it for
+		// the Galerkin product); only hand-built hierarchies lack it.
+		pt := h.Levels[k].PT
+		if pt == nil {
+			pt = p.Transpose()
 		}
 		// P̄ = P − diag(scale)·A·P, computed as a sparse product then a
 		// row-scaled subtraction.
 		ap := sparse.MatMul(h.Levels[k].A, p)
 		ap.ScaleRows(scale)
 		pbar := sparse.Sub(p, ap)
+		if f32 {
+			// Compressed interpolants: the float64 P̄ pair is converted and
+			// dropped; P/PT stay only on the hierarchy.
+			s.Itp[k] = op.NewCSR32Interp(p, pt)
+			s.SItp[k] = op.NewCSR32Interp(pbar, pbar.Transpose())
+			continue
+		}
+		s.P[k] = p
+		s.PT[k] = pt
 		s.PBar[k] = pbar
 		s.PBarT[k] = pbar.Transpose()
+		s.Itp[k] = op.InterpFromCSR(p, pt)
+		s.SItp[k] = op.InterpFromCSR(pbar, s.PBarT[k])
 	}
 	return s, nil
+}
+
+// NewOperator builds the hierarchy and all solver operators from an
+// arbitrary fine-level operator: the operator-generic New. A CSR-backed
+// operator takes the standard algebraic setup; a matrix-free stencil
+// coarsens itself geometrically first (amg.BuildOperatorWithStats) and
+// the fine matrix is never materialized.
+func NewOperator(a op.Operator, amgOpt amg.Options, smoCfg smoother.Config) (*Engine, error) {
+	h, st, err := amg.BuildOperatorWithStats(a, amgOpt)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := NewFromHierarchy(h, smoCfg)
+	if err != nil {
+		return nil, err
+	}
+	eng.Setup = st
+	eng.ReleaseFloat64Storage()
+	return eng, nil
+}
+
+// HierarchyBytes reports the resident storage of the engine's hierarchy
+// view: every level operator plus the plain and smoothed interpolant
+// views. Matrix-free operators contribute O(1); a compressed view counts
+// its float32 stores (the float64 originals still on the hierarchy are
+// not the engine's — see ReleaseFloat64Storage).
+func (s *Engine) HierarchyBytes() int {
+	total := 0
+	for _, a := range s.Ops {
+		total += a.Bytes()
+	}
+	for _, t := range s.Itp {
+		total += t.Bytes()
+	}
+	for _, t := range s.SItp {
+		total += t.Bytes()
+	}
+	return total
+}
+
+// ReleaseFloat64Storage rewires the hierarchy levels onto the engine's
+// compressed (float32) operator and interpolant views and drops the
+// setup-built float64 matrices they replaced, making that storage
+// collectable. Call only when the engine exclusively owns its hierarchy
+// (the facade's one-shot setup does; a hierarchy shared across engines
+// must keep its float64 levels). No-op on float64-precision engines. The
+// fine level and the coarse LU factorization are always retained.
+func (s *Engine) ReleaseFloat64Storage() {
+	if s.H.Precision != op.CoarseFloat32 {
+		return
+	}
+	for k := range s.H.Levels {
+		lev := &s.H.Levels[k]
+		if k < len(s.Itp) {
+			if _, ok := s.Itp[k].(*op.CSR32Interp); ok {
+				lev.P, lev.PT = nil, nil
+				lev.Itp = s.Itp[k]
+			}
+		}
+		if _, ok := s.Ops[k].(*op.CSR32); ok {
+			lev.A = nil
+			lev.Op = s.Ops[k]
+		}
+	}
 }
 
 // NumLevels returns the hierarchy depth.
 func (s *Engine) NumLevels() int { return s.H.NumLevels() }
 
 // LevelSize returns the number of rows on level k.
-func (s *Engine) LevelSize(k int) int { return s.H.Levels[k].A.Rows }
+func (s *Engine) LevelSize(k int) int { return s.H.Levels[k].Rows() }
 
 // Pre returns the cached matrix-derived vectors of level k for smoother
 // construction. Zero-valued (forcing recomputation) when the engine was
@@ -206,7 +325,7 @@ func (s *Engine) Pre(k int) smoother.Precomputed {
 func (s *Engine) NewLevelSmoother(k, blocks int) (*smoother.S, error) {
 	cfg := s.Cfg
 	cfg.Blocks = blocks
-	return smoother.NewWith(s.H.Levels[k].A, cfg, s.Pre(k))
+	return smoother.NewOperator(s.Ops[k], cfg, s.Pre(k))
 }
 
 // Workspace holds the per-level scratch vectors of one cycle execution.

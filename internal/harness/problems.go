@@ -9,6 +9,7 @@ import (
 
 	"asyncmg/internal/fem"
 	"asyncmg/internal/grid"
+	"asyncmg/internal/op"
 	"asyncmg/internal/sparse"
 )
 
@@ -57,6 +58,25 @@ func BuildProblem(name string, size int) (*sparse.CSR, error) {
 		return prob.A, nil
 	default:
 		return nil, fmt.Errorf("harness: unknown problem %q (want %v)", name, AllProblems())
+	}
+}
+
+// BuildProblemOperator generates the matrix-free form of a structured
+// problem: the 7pt and 27pt Laplacians have stencil operators whose fine
+// level is never materialized as CSR. ok is false for the FEM families
+// (and unknown names), which only exist in assembled form — callers fall
+// back to BuildProblem.
+func BuildProblemOperator(name string, size int) (a op.Operator, ok bool) {
+	if size < 2 {
+		return nil, false
+	}
+	switch name {
+	case Problem7pt:
+		return op.NewStencil7(size), true
+	case Problem27pt:
+		return op.NewStencil27(size), true
+	default:
+		return nil, false
 	}
 }
 

@@ -21,6 +21,7 @@ package mg
 import (
 	"asyncmg/internal/amg"
 	"asyncmg/internal/engine"
+	"asyncmg/internal/op"
 	"asyncmg/internal/smoother"
 	"asyncmg/internal/sparse"
 )
@@ -63,4 +64,12 @@ func NewSetup(a *sparse.CSR, amgOpt amg.Options, smoCfg smoother.Config) (*Setup
 // NewSetupFromHierarchy builds solver operators on an existing hierarchy.
 func NewSetupFromHierarchy(h *amg.Hierarchy, smoCfg smoother.Config) (*Setup, error) {
 	return engine.NewFromHierarchy(h, smoCfg)
+}
+
+// NewSetupOperator builds the hierarchy and all solver operators from an
+// arbitrary fine-level operator (the operator-generic NewSetup): a
+// matrix-free stencil fine level coarsens itself geometrically and its
+// matrix is never materialized.
+func NewSetupOperator(a op.Operator, amgOpt amg.Options, smoCfg smoother.Config) (*Setup, error) {
+	return engine.NewOperator(a, amgOpt, smoCfg)
 }

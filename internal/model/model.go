@@ -157,7 +157,7 @@ func Run(s *mg.Setup, b []float64, cfg Config) (*Result, error) {
 	lastRead := make([]int, l) // most recent instant grid k has read from
 	corr := make([]int, l)
 	done := 0
-	a := s.H.Levels[0].A
+	a := s.Ops[0]
 	w := newCorrWorkspace(s)
 	defer w.release(s)
 	readBuf := make([]float64, n)
@@ -244,7 +244,7 @@ func Run(s *mg.Setup, b []float64, cfg Config) (*Result, error) {
 			vec.Axpy(1, x, sum)
 			if cfg.Variant == FullAsyncResidual {
 				// r ← r − A Σ C_k(...): the model's own residual recursion.
-				a.MatVec(w.av, sum)
+				a.Apply(w.av, sum)
 				vec.Axpy(-1, r, w.av)
 			}
 		}

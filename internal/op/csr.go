@@ -1,0 +1,124 @@
+package op
+
+import (
+	"asyncmg/internal/sparse"
+	"asyncmg/internal/vec"
+)
+
+// CSROp adapts a float64 *sparse.CSR to the Operator interface. Every
+// method delegates to the corresponding sparse kernel with identical
+// arguments, so an engine running on CSROp is bitwise-identical to one
+// calling the CSR methods directly — the adapter adds dispatch, not
+// arithmetic.
+type CSROp struct {
+	M *sparse.CSR
+}
+
+// FromCSR wraps m as an Operator.
+func FromCSR(m *sparse.CSR) *CSROp { return &CSROp{M: m} }
+
+func (a *CSROp) Rows() int          { return a.M.Rows }
+func (a *CSROp) Cols() int          { return a.M.Cols }
+func (a *CSROp) NNZEquivalent() int { return a.M.NNZ() }
+
+// Bytes reports the resident CSR storage: 8 bytes per RowPtr/ColIdx int
+// and per float64 value on 64-bit targets.
+func (a *CSROp) Bytes() int {
+	return 8*len(a.M.RowPtr) + 8*len(a.M.ColIdx) + 8*len(a.M.Vals)
+}
+
+func (a *CSROp) Apply(y, x []float64)                  { a.M.MatVecPar(y, x) }
+func (a *CSROp) ApplyRange(y, x []float64, lo, hi int) { a.M.MatVecRange(y, x, lo, hi) }
+func (a *CSROp) Residual(r, b, x []float64)            { a.M.ResidualPar(r, b, x) }
+func (a *CSROp) ResidualRange(r, b, x []float64, lo, hi int) {
+	a.M.ResidualRange(r, b, x, lo, hi)
+}
+func (a *CSROp) Diag() []float64       { return a.M.Diag() }
+func (a *CSROp) RowL1Norms() []float64 { return a.M.RowL1Norms() }
+
+func (a *CSROp) CSR() *sparse.CSR { return a.M }
+
+func (a *CSROp) FusedJacobiResidual(e, t, invDiag, r []float64) {
+	a.M.FusedJacobiResidual(e, t, invDiag, r)
+}
+
+func (a *CSROp) ScaledResidual(w, scale, r []float64) { a.M.ScaledResidualPar(w, scale, r) }
+func (a *CSROp) ScaledResidualRange(w, scale, r []float64, lo, hi int) {
+	a.M.ScaledResidualRange(w, scale, r, lo, hi)
+}
+func (a *CSROp) SmoothedResidual(w, scale, r []float64) { a.M.SmoothedResidualPar(w, scale, r) }
+func (a *CSROp) SmoothedResidualRange(w, scale, r []float64, lo, hi int) {
+	a.M.SmoothedResidualRange(w, scale, r, lo, hi)
+}
+
+// ResidualAtomicRange computes dst[i] = b[i] − Σ_j a_ij·x.Load(j) for
+// rows [lo, hi) against a shared atomic iterate. The loop body is the one
+// the asynchronous runtime's global-residual refresh has always run.
+func (a *CSROp) ResidualAtomicRange(dst *vec.Atomic, b []float64, x *vec.Atomic, lo, hi int) {
+	m := a.M
+	for i := lo; i < hi; i++ {
+		s := b[i]
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			s -= m.Vals[p] * x.Load(m.ColIdx[p])
+		}
+		dst.Store(i, s)
+	}
+}
+
+func (a *CSROp) ResidualBlock(r, b, x []float64, k int) { a.M.ResidualBlockPar(r, b, x, k) }
+
+// CSRInterp adapts a float64 CSR interpolant pair (P and its cached
+// transpose Pᵀ) to the Interp interface, delegating to the sparse kernels
+// bitwise.
+type CSRInterp struct {
+	P  *sparse.CSR
+	PT *sparse.CSR
+}
+
+// InterpFromCSR wraps p (and its transpose pt, which may be nil — it is
+// computed once here) as an Interp.
+func InterpFromCSR(p, pt *sparse.CSR) *CSRInterp {
+	if pt == nil {
+		pt = p.Transpose()
+	}
+	return &CSRInterp{P: p, PT: pt}
+}
+
+func (t *CSRInterp) FineRows() int      { return t.P.Rows }
+func (t *CSRInterp) CoarseRows() int    { return t.P.Cols }
+func (t *CSRInterp) NNZEquivalent() int { return t.P.NNZ() }
+
+func (t *CSRInterp) Bytes() int {
+	b := 8*len(t.P.RowPtr) + 8*len(t.P.ColIdx) + 8*len(t.P.Vals)
+	if t.PT != nil {
+		b += 8*len(t.PT.RowPtr) + 8*len(t.PT.ColIdx) + 8*len(t.PT.Vals)
+	}
+	return b
+}
+
+func (t *CSRInterp) Apply(fine, coarse []float64)    { t.P.MatVecPar(fine, coarse) }
+func (t *CSRInterp) ApplyAdd(fine, coarse []float64) { t.P.MatVecAddPar(fine, coarse) }
+func (t *CSRInterp) ApplyRange(fine, coarse []float64, lo, hi int) {
+	t.P.MatVecRange(fine, coarse, lo, hi)
+}
+func (t *CSRInterp) ApplyT(coarse, fine []float64) { t.PT.MatVecPar(coarse, fine) }
+func (t *CSRInterp) ApplyTRange(coarse, fine []float64, lo, hi int) {
+	t.PT.MatVecRange(coarse, fine, lo, hi)
+}
+
+func (t *CSRInterp) ApplyBlock(fine, coarse []float64, k int) {
+	t.P.MatVecBlockPar(fine, coarse, k)
+}
+func (t *CSRInterp) ApplyAddBlock(fine, coarse []float64, k int) {
+	t.P.MatVecAddBlockPar(fine, coarse, k)
+}
+func (t *CSRInterp) ApplyTBlock(coarse, fine []float64, k int) {
+	t.PT.MatVecBlockPar(coarse, fine, k)
+}
+
+func asCSRInterp(itp Interp) *CSRInterp {
+	if t, ok := itp.(*CSRInterp); ok {
+		return t
+	}
+	return nil
+}

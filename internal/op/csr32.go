@@ -1,0 +1,333 @@
+package op
+
+import (
+	"math"
+
+	"asyncmg/internal/par"
+	"asyncmg/internal/sparse"
+)
+
+// CSR32 is compressed sparse row storage with float32 values and int32
+// indices: 8 bytes per nonzero against float64 CSR's 16 — the
+// mixed-precision storage for coarse-level operators and interpolants
+// (AMGCL's precision policy). Every kernel converts each stored value to
+// float64 at load and accumulates in float64, so only the matrix entries
+// themselves are rounded — once, at conversion — and all kernels keep the
+// package sparse contract (ascending-column row loops, row-independent
+// sharding bitwise-identical to serial at any worker count).
+type CSR32 struct {
+	rows, cols int
+	rowPtr     []int32
+	colIdx     []int32
+	vals       []float32
+}
+
+// NewCSR32 converts a float64 CSR to float32 storage. It panics if the
+// matrix has more than MaxInt32 rows or nonzeros (coarse-level matrices
+// are orders of magnitude below that).
+func NewCSR32(m *sparse.CSR) *CSR32 {
+	if m.Rows >= math.MaxInt32 || m.NNZ() >= math.MaxInt32 || m.Cols >= math.MaxInt32 {
+		panic("op: matrix too large for int32 CSR32 indices")
+	}
+	c := &CSR32{
+		rows:   m.Rows,
+		cols:   m.Cols,
+		rowPtr: make([]int32, len(m.RowPtr)),
+		colIdx: make([]int32, len(m.ColIdx)),
+		vals:   make([]float32, len(m.Vals)),
+	}
+	for i, p := range m.RowPtr {
+		c.rowPtr[i] = int32(p)
+	}
+	for i, j := range m.ColIdx {
+		c.colIdx[i] = int32(j)
+	}
+	for i, v := range m.Vals {
+		c.vals[i] = float32(v)
+	}
+	return c
+}
+
+// ToCSR expands back to float64 CSR (tests and diagnostics).
+func (a *CSR32) ToCSR() *sparse.CSR {
+	m := &sparse.CSR{
+		Rows:   a.rows,
+		Cols:   a.cols,
+		RowPtr: make([]int, len(a.rowPtr)),
+		ColIdx: make([]int, len(a.colIdx)),
+		Vals:   make([]float64, len(a.vals)),
+	}
+	for i, p := range a.rowPtr {
+		m.RowPtr[i] = int(p)
+	}
+	for i, j := range a.colIdx {
+		m.ColIdx[i] = int(j)
+	}
+	for i, v := range a.vals {
+		m.Vals[i] = float64(v)
+	}
+	return m
+}
+
+func (a *CSR32) Rows() int          { return a.rows }
+func (a *CSR32) Cols() int          { return a.cols }
+func (a *CSR32) NNZEquivalent() int { return len(a.vals) }
+
+// Bytes reports resident storage: 4 bytes per row pointer, column index
+// and value.
+func (a *CSR32) Bytes() int {
+	return 4*len(a.rowPtr) + 4*len(a.colIdx) + 4*len(a.vals)
+}
+
+func (a *CSR32) ApplyRange(y, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s := 0.0
+		for q := a.rowPtr[i]; q < a.rowPtr[i+1]; q++ {
+			s += float64(a.vals[q]) * x[a.colIdx[q]]
+		}
+		y[i] = s
+	}
+}
+
+func (a *CSR32) applyAddRange(y, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s := 0.0
+		for q := a.rowPtr[i]; q < a.rowPtr[i+1]; q++ {
+			s += float64(a.vals[q]) * x[a.colIdx[q]]
+		}
+		y[i] += s
+	}
+}
+
+func (a *CSR32) ResidualRange(r, b, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s := b[i]
+		for q := a.rowPtr[i]; q < a.rowPtr[i+1]; q++ {
+			s -= float64(a.vals[q]) * x[a.colIdx[q]]
+		}
+		r[i] = s
+	}
+}
+
+func (a *CSR32) Apply(y, x []float64) {
+	if !par.Par(len(a.vals)) {
+		a.ApplyRange(y, x, 0, a.rows)
+		return
+	}
+	runSharded(a.rows, func(k *shardKernel) { k.mode, k.opr, k.y, k.x = modeApply, a, y, x })
+}
+
+func (a *CSR32) Residual(r, b, x []float64) {
+	if !par.Par(len(a.vals)) {
+		a.ResidualRange(r, b, x, 0, a.rows)
+		return
+	}
+	runSharded(a.rows, func(k *shardKernel) { k.mode, k.opr, k.y, k.b, k.x = modeResidual, a, r, b, x })
+}
+
+func (a *CSR32) Diag() []float64 {
+	d := make([]float64, a.rows)
+	for i := 0; i < a.rows; i++ {
+		for q := a.rowPtr[i]; q < a.rowPtr[i+1]; q++ {
+			if int(a.colIdx[q]) == i {
+				d[i] = float64(a.vals[q])
+				break
+			}
+		}
+	}
+	return d
+}
+
+func (a *CSR32) RowL1Norms() []float64 {
+	l1 := make([]float64, a.rows)
+	for i := 0; i < a.rows; i++ {
+		s := 0.0
+		for q := a.rowPtr[i]; q < a.rowPtr[i+1]; q++ {
+			s += math.Abs(float64(a.vals[q]))
+		}
+		l1[i] = s
+	}
+	return l1
+}
+
+func (a *CSR32) fusedJacobiResidualRange(e, t, invDiag, r []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		e[i] = invDiag[i] * r[i]
+		s := r[i]
+		for q := a.rowPtr[i]; q < a.rowPtr[i+1]; q++ {
+			j := a.colIdx[q]
+			s -= float64(a.vals[q]) * (invDiag[j] * r[j])
+		}
+		t[i] = s
+	}
+}
+
+func (a *CSR32) FusedJacobiResidual(e, t, invDiag, r []float64) {
+	if !par.Par(len(a.vals)) {
+		a.fusedJacobiResidualRange(e, t, invDiag, r, 0, a.rows)
+		return
+	}
+	runSharded(a.rows, func(k *shardKernel) {
+		k.mode, k.jac, k.e, k.y, k.inv, k.x = modeJacobi, a, e, t, invDiag, r
+	})
+}
+
+func (a *CSR32) ScaledResidualRange(w, scale, r []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s := 0.0
+		for q := a.rowPtr[i]; q < a.rowPtr[i+1]; q++ {
+			s += float64(a.vals[q]) * r[a.colIdx[q]]
+		}
+		w[i] = r[i] - scale[i]*s
+	}
+}
+
+func (a *CSR32) SmoothedResidualRange(w, scale, r []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s := r[i]
+		for q := a.rowPtr[i]; q < a.rowPtr[i+1]; q++ {
+			j := a.colIdx[q]
+			s -= float64(a.vals[q]) * (scale[j] * r[j])
+		}
+		w[i] = s
+	}
+}
+
+func (a *CSR32) ScaledResidual(w, scale, r []float64) {
+	if !par.Par(len(a.vals)) {
+		a.ScaledResidualRange(w, scale, r, 0, a.rows)
+		return
+	}
+	runSharded(a.rows, func(k *shardKernel) {
+		k.mode, k.sm, k.y, k.inv, k.x = modeScaledRes, a, w, scale, r
+	})
+}
+
+func (a *CSR32) SmoothedResidual(w, scale, r []float64) {
+	if !par.Par(len(a.vals)) {
+		a.SmoothedResidualRange(w, scale, r, 0, a.rows)
+		return
+	}
+	runSharded(a.rows, func(k *shardKernel) {
+		k.mode, k.sm, k.y, k.inv, k.x = modeSmoothedRes, a, w, scale, r
+	})
+}
+
+// ---- multi-RHS (k packed columns, row-major) ----
+
+func (a *CSR32) matVecBlockRange(y, x []float64, k, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		yi := y[i*k : (i+1)*k]
+		for c := range yi {
+			yi[c] = 0
+		}
+		for q := a.rowPtr[i]; q < a.rowPtr[i+1]; q++ {
+			v := float64(a.vals[q])
+			xj := x[int(a.colIdx[q])*k : (int(a.colIdx[q])+1)*k]
+			for c := range yi {
+				yi[c] += v * xj[c]
+			}
+		}
+	}
+}
+
+func (a *CSR32) matVecAddBlockRange(y, x []float64, k, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		yi := y[i*k : (i+1)*k]
+		qlo, qhi := a.rowPtr[i], a.rowPtr[i+1]
+		for c := range yi {
+			s := 0.0
+			for q := qlo; q < qhi; q++ {
+				s += float64(a.vals[q]) * x[int(a.colIdx[q])*k+c]
+			}
+			yi[c] += s
+		}
+	}
+}
+
+func (a *CSR32) residualBlockRange(r, b, x []float64, k, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ri := r[i*k : (i+1)*k]
+		copy(ri, b[i*k:(i+1)*k])
+		for q := a.rowPtr[i]; q < a.rowPtr[i+1]; q++ {
+			v := float64(a.vals[q])
+			xj := x[int(a.colIdx[q])*k : (int(a.colIdx[q])+1)*k]
+			for c := range ri {
+				ri[c] -= v * xj[c]
+			}
+		}
+	}
+}
+
+func (a *CSR32) runBlock(mode int, y, b, x []float64, k int) {
+	if !par.Par(len(a.vals) * k) {
+		switch mode {
+		case modeBlockApply:
+			a.matVecBlockRange(y, x, k, 0, a.rows)
+		case modeBlockApplyAdd:
+			a.matVecAddBlockRange(y, x, k, 0, a.rows)
+		default:
+			a.residualBlockRange(y, b, x, k, 0, a.rows)
+		}
+		return
+	}
+	runSharded(a.rows, func(sk *shardKernel) {
+		sk.mode, sk.blk, sk.y, sk.b, sk.x, sk.k = mode, a, y, b, x, k
+	})
+}
+
+func (a *CSR32) MatVecBlock(y, x []float64, k int)      { a.runBlock(modeBlockApply, y, nil, x, k) }
+func (a *CSR32) MatVecAddBlock(y, x []float64, k int)   { a.runBlock(modeBlockApplyAdd, y, nil, x, k) }
+func (a *CSR32) ResidualBlock(r, b, x []float64, k int) { a.runBlock(modeBlockResidual, r, b, x, k) }
+
+// CSR32Interp is an interpolant pair (P, Pᵀ) in float32 storage.
+type CSR32Interp struct {
+	P  *CSR32
+	PT *CSR32
+}
+
+// NewCSR32Interp converts a float64 interpolant pair. pt may be nil.
+func NewCSR32Interp(p, pt *sparse.CSR) *CSR32Interp {
+	if pt == nil {
+		pt = p.Transpose()
+	}
+	return &CSR32Interp{P: NewCSR32(p), PT: NewCSR32(pt)}
+}
+
+func (t *CSR32Interp) FineRows() int      { return t.P.rows }
+func (t *CSR32Interp) CoarseRows() int    { return t.P.cols }
+func (t *CSR32Interp) NNZEquivalent() int { return len(t.P.vals) }
+func (t *CSR32Interp) Bytes() int         { return t.P.Bytes() + t.PT.Bytes() }
+
+func (t *CSR32Interp) Apply(fine, coarse []float64) { t.P.Apply(fine, coarse) }
+
+func (t *CSR32Interp) applyAddRange(fine, coarse []float64, lo, hi int) {
+	t.P.applyAddRange(fine, coarse, lo, hi)
+}
+
+func (t *CSR32Interp) ApplyAdd(fine, coarse []float64) {
+	if !par.Par(len(t.P.vals)) {
+		t.P.applyAddRange(fine, coarse, 0, t.P.rows)
+		return
+	}
+	runSharded(t.P.rows, func(k *shardKernel) {
+		k.mode, k.itp, k.y, k.x = modeInterpApplyAdd, t, fine, coarse
+	})
+}
+func (t *CSR32Interp) ApplyRange(fine, coarse []float64, lo, hi int) {
+	t.P.ApplyRange(fine, coarse, lo, hi)
+}
+func (t *CSR32Interp) ApplyT(coarse, fine []float64) { t.PT.Apply(coarse, fine) }
+func (t *CSR32Interp) ApplyTRange(coarse, fine []float64, lo, hi int) {
+	t.PT.ApplyRange(coarse, fine, lo, hi)
+}
+
+func (t *CSR32Interp) ApplyBlock(fine, coarse []float64, k int) {
+	t.P.MatVecBlock(fine, coarse, k)
+}
+func (t *CSR32Interp) ApplyAddBlock(fine, coarse []float64, k int) {
+	t.P.MatVecAddBlock(fine, coarse, k)
+}
+func (t *CSR32Interp) ApplyTBlock(coarse, fine []float64, k int) {
+	t.PT.MatVecBlock(coarse, fine, k)
+}

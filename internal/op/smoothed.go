@@ -1,0 +1,162 @@
+package op
+
+import "sync"
+
+// SmoothedInterp composes the smoothed interpolant
+//
+//	P̄ = (I − diag(scale)·A) · P
+//
+// from an operator and a base interpolant without materializing P̄ or P̄ᵀ:
+// prolongation is a base prolongation followed by the fused scaled
+// residual (fine = t − scale∘(A t)), and restriction uses A = Aᵀ to run
+// the fused smoothed residual ahead of the base restriction
+// (coarse = Pᵀ (fine − A (scale∘fine))). Against a CSR A and P this
+// replaces two stored matrices (P̄ and P̄ᵀ, each as dense as A·P) with one
+// pooled fine-length scratch vector.
+//
+// Note the composition is mathematically identical to the materialized
+// P̄ but not bitwise: the materialized path sums P̄'s pre-multiplied
+// entries, the composed path applies the two factors in sequence. The
+// default engine configuration therefore still materializes (golden
+// histories stay pinned); composed mode is chosen for matrix-free and
+// reduced-precision hierarchies, which pin their own goldens.
+type SmoothedInterp struct {
+	A     Operator
+	P     Interp
+	Scale []float64
+
+	fineScratch sync.Pool
+}
+
+// NewSmoothedInterp composes P̄ = (I − diag(scale)·A)·P. A must be
+// symmetric (true for every operator this solver builds hierarchies
+// from); scale has fine length.
+func NewSmoothedInterp(a Operator, p Interp, scale []float64) *SmoothedInterp {
+	si := &SmoothedInterp{A: a, P: p, Scale: scale}
+	n := p.FineRows()
+	si.fineScratch.New = func() any {
+		s := make([]float64, n)
+		return &s
+	}
+	return si
+}
+
+func (si *SmoothedInterp) FineRows() int   { return si.P.FineRows() }
+func (si *SmoothedInterp) CoarseRows() int { return si.P.CoarseRows() }
+
+// NNZEquivalent is the work of one apply: the base interpolant plus a
+// full operator pass.
+func (si *SmoothedInterp) NNZEquivalent() int {
+	return si.P.NNZEquivalent() + si.A.NNZEquivalent()
+}
+
+// Bytes is the composition's own storage: just the scale vector (the
+// operator and base interpolant are accounted where they live).
+func (si *SmoothedInterp) Bytes() int { return 8 * len(si.Scale) }
+
+func (si *SmoothedInterp) getScratch() *[]float64  { return si.fineScratch.Get().(*[]float64) }
+func (si *SmoothedInterp) putScratch(s *[]float64) { si.fineScratch.Put(s) }
+
+// Apply computes fine = P̄ coarse = t − scale∘(A t) with t = P coarse.
+func (si *SmoothedInterp) Apply(fine, coarse []float64) {
+	t := si.getScratch()
+	si.P.Apply(*t, coarse)
+	ScaledResidual(si.A, fine, si.Scale, *t, fine)
+	si.putScratch(t)
+}
+
+// ApplyAdd computes fine += P̄ coarse.
+func (si *SmoothedInterp) ApplyAdd(fine, coarse []float64) {
+	u := si.getScratch()
+	si.Apply(*u, coarse)
+	for i := range fine {
+		fine[i] += (*u)[i]
+	}
+	si.putScratch(u)
+}
+
+// ApplyT computes coarse = P̄ᵀ fine = Pᵀ (fine − A (scale∘fine)).
+func (si *SmoothedInterp) ApplyT(coarse, fine []float64) {
+	t := si.getScratch()
+	if sa, ok := si.A.(SmoothedApplier); ok {
+		sa.SmoothedResidual(*t, si.Scale, fine)
+	} else {
+		u := si.getScratch()
+		SmoothedResidual(si.A, *t, si.Scale, fine, *u)
+		si.putScratch(u)
+	}
+	si.P.ApplyT(coarse, *t)
+	si.putScratch(t)
+}
+
+// ApplyRange computes fine[lo:hi] = (P̄ coarse)[lo:hi]. The smoothing
+// factor needs the full base prolongation, so each call stages P coarse
+// into its own scratch and then runs the fused scaled residual on the
+// requested rows only — correct (and deterministic) from concurrent
+// goroutine-team members, at the cost of recomputing the base
+// prolongation per caller. The engine's Correction chain uses the staged
+// Stage*/Gather* methods instead, which amortize that work across the
+// team.
+func (si *SmoothedInterp) ApplyRange(fine, coarse []float64, lo, hi int) {
+	t := si.getScratch()
+	si.P.Apply(*t, coarse)
+	if sa, ok := si.A.(SmoothedApplier); ok {
+		sa.ScaledResidualRange(fine, si.Scale, *t, lo, hi)
+	} else {
+		u := si.getScratch()
+		si.A.Apply(*u, *t)
+		for i := lo; i < hi; i++ {
+			fine[i] = (*t)[i] - si.Scale[i]*(*u)[i]
+		}
+		si.putScratch(u)
+	}
+	si.putScratch(t)
+}
+
+// ApplyTRange computes coarse[lo:hi] = (P̄ᵀ fine)[lo:hi], staging the full
+// smoothed residual per caller (see ApplyRange).
+func (si *SmoothedInterp) ApplyTRange(coarse, fine []float64, lo, hi int) {
+	t := si.getScratch()
+	if sa, ok := si.A.(SmoothedApplier); ok {
+		sa.SmoothedResidual(*t, si.Scale, fine)
+	} else {
+		u := si.getScratch()
+		SmoothedResidual(si.A, *t, si.Scale, fine, *u)
+		si.putScratch(u)
+	}
+	si.P.ApplyTRange(coarse, *t, lo, hi)
+	si.putScratch(t)
+}
+
+// CanStage reports whether the operator supports the staged range
+// kernels below (the goroutine-team Correction path).
+func (si *SmoothedInterp) CanStage() bool {
+	_, ok := si.A.(SmoothedApplier)
+	return ok
+}
+
+// StageSmoothedResidualRange computes w[lo:hi] = (fine − A (scale∘fine))[lo:hi]
+// — the first stage of a team restriction. All fine rows must be staged
+// (across the team) before any GatherTRange call.
+func (si *SmoothedInterp) StageSmoothedResidualRange(w, fine []float64, lo, hi int) {
+	si.A.(SmoothedApplier).SmoothedResidualRange(w, si.Scale, fine, lo, hi)
+}
+
+// GatherTRange computes coarse[lo:hi] = (Pᵀ w)[lo:hi] — the second stage
+// of a team restriction, consuming the fully staged w.
+func (si *SmoothedInterp) GatherTRange(coarse, w []float64, lo, hi int) {
+	si.P.ApplyTRange(coarse, w, lo, hi)
+}
+
+// StageProlongRange computes t[lo:hi] = (P coarse)[lo:hi] — the first
+// stage of a team prolongation. All fine rows must be staged before any
+// SmoothRange call.
+func (si *SmoothedInterp) StageProlongRange(t, coarse []float64, lo, hi int) {
+	si.P.ApplyRange(t, coarse, lo, hi)
+}
+
+// SmoothRange computes fine[lo:hi] = (t − scale∘(A t))[lo:hi] — the
+// second stage of a team prolongation, consuming the fully staged t.
+func (si *SmoothedInterp) SmoothRange(fine, t []float64, lo, hi int) {
+	si.A.(SmoothedApplier).ScaledResidualRange(fine, si.Scale, t, lo, hi)
+}

@@ -27,6 +27,9 @@ type entry struct {
 	// cache hits report 0 because they pay nothing.
 	setupNS int64
 	rows    int
+	// bytes is the resident hierarchy footprint (operators + interpolants
+	// across all levels) — the number the float32 coarse option shrinks.
+	bytes int
 
 	// groups are the open batch groups for this hierarchy, keyed by
 	// (method, cycles) so only requests running the same iteration can
@@ -91,6 +94,7 @@ func (c *cache) getOrBuild(key string, build func() (*mg.Setup, error)) (e *entr
 	e.setup, e.err = setup, err
 	if setup != nil {
 		e.rows = setup.LevelSize(0)
+		e.bytes = setup.HierarchyBytes()
 	}
 	if err != nil {
 		// Don't cache failures: drop the entry so a later identical

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"testing"
+
+	"asyncmg/internal/amg"
+	"asyncmg/internal/op"
+)
+
+// TestServeMatrixFree checks the service-level plumbing of the
+// operator-generic engine: a MatrixFree server solves the structured
+// problems through the stencil fine level (smaller resident hierarchy,
+// reported per response), converges the same, and FEM problems fall back
+// to the assembled path untouched.
+func TestServeMatrixFree(t *testing.T) {
+	_, tsCSR := newTestServer(t, Config{})
+	_, tsMF := newTestServer(t, Config{MatrixFree: true})
+
+	req := SolveRequest{Problem: "7pt", Size: 10, Method: "mult", Cycles: 8}
+	csr, code := postSolve(t, tsCSR.URL, req)
+	if code != 200 {
+		t.Fatalf("csr solve: status %d", code)
+	}
+	mf, code := postSolve(t, tsMF.URL, req)
+	if code != 200 {
+		t.Fatalf("matrix-free solve: status %d", code)
+	}
+	if mf.Rows != csr.Rows || mf.Levels < 2 {
+		t.Fatalf("matrix-free hierarchy differs: rows %d vs %d, levels %d", mf.Rows, csr.Rows, mf.Levels)
+	}
+	if mf.HierarchyBytes <= 0 || csr.HierarchyBytes <= 0 {
+		t.Fatalf("hierarchy bytes not reported: mf %d, csr %d", mf.HierarchyBytes, csr.HierarchyBytes)
+	}
+	if mf.HierarchyBytes >= csr.HierarchyBytes {
+		t.Errorf("matrix-free hierarchy not smaller: %d B vs %d B", mf.HierarchyBytes, csr.HierarchyBytes)
+	}
+	if mf.RelRes <= 0 || mf.RelRes > 1e-2 {
+		t.Errorf("matrix-free solve did not converge: relres %g", mf.RelRes)
+	}
+
+	// FEM has no stencil form; the matrix-free server must fall back.
+	fem, code := postSolve(t, tsMF.URL, SolveRequest{Problem: "mfem-laplace", Size: 6, Method: "mult", Cycles: 8})
+	if code != 200 {
+		t.Fatalf("fem fallback solve: status %d", code)
+	}
+	if fem.RelRes <= 0 || fem.RelRes > 1e-1 {
+		t.Errorf("fem fallback did not converge: relres %g", fem.RelRes)
+	}
+}
+
+// TestServeFloat32Coarse checks that a server configured for float32
+// coarse storage serves smaller hierarchies with unchanged convergence.
+func TestServeFloat32Coarse(t *testing.T) {
+	opt := amg.DefaultOptions()
+	opt.CoarsePrecision = op.CoarseFloat32
+	_, ts32 := newTestServer(t, Config{AMG: &opt})
+	_, ts64 := newTestServer(t, Config{})
+
+	req := SolveRequest{Problem: "7pt", Size: 10, Method: "multadd", Cycles: 8}
+	r64, code := postSolve(t, ts64.URL, req)
+	if code != 200 {
+		t.Fatalf("float64 solve: status %d", code)
+	}
+	r32, code := postSolve(t, ts32.URL, req)
+	if code != 200 {
+		t.Fatalf("float32 solve: status %d", code)
+	}
+	if r32.HierarchyBytes >= r64.HierarchyBytes {
+		t.Errorf("float32 hierarchy not smaller: %d B vs %d B", r32.HierarchyBytes, r64.HierarchyBytes)
+	}
+	if rel := relDiff(r32.RelRes, r64.RelRes); rel > 1e-6 {
+		t.Errorf("float32 convergence diverged: relres %g vs %g (rel %g)", r32.RelRes, r64.RelRes, rel)
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if b < 0 {
+		b = -b
+	}
+	if b == 0 {
+		return d
+	}
+	return d / b
+}

@@ -64,6 +64,9 @@ type SolveResponse struct {
 	History []float64 `json:"history,omitempty"`
 	// Cache is "hit" or "miss" for this request's hierarchy lookup.
 	Cache string `json:"cache"`
+	// HierarchyBytes is the resident footprint of the cached hierarchy
+	// (operators + interpolants); float32 coarse storage shrinks it.
+	HierarchyBytes int `json:"hierarchy_bytes,omitempty"`
 	// Batched is the number of right-hand sides in the block solve this
 	// request rode in (1 = solo).
 	Batched int `json:"batched"`

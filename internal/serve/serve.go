@@ -43,6 +43,7 @@ import (
 	"asyncmg/internal/mg"
 	"asyncmg/internal/mtx"
 	"asyncmg/internal/obs"
+	"asyncmg/internal/op"
 	"asyncmg/internal/smoother"
 	"asyncmg/internal/sparse"
 	"asyncmg/internal/vec"
@@ -72,7 +73,14 @@ type Config struct {
 	// observer; exposed at /metrics either way).
 	Observer *obs.Observer
 	// AMG overrides the hierarchy options (default amg.DefaultOptions).
+	// Setting AMG.CoarsePrecision = op.CoarseFloat32 stores every coarse
+	// operator and interpolant in float32, shrinking cached hierarchies.
 	AMG *amg.Options
+	// MatrixFree builds the structured stencil problems (7pt, 27pt)
+	// matrix-free: the fine-level Laplacian is applied from the stencil
+	// and never materialized as CSR. FEM and uploaded-matrix problems are
+	// unaffected.
+	MatrixFree bool
 	// MatrixStoreSize bounds the uploaded-matrix byte store that backs
 	// hierarchy replication pulls (default 16 matrices).
 	MatrixStoreSize int
@@ -241,6 +249,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	key := problemKey(sp.problem, sp.size, sp.smoCfg)
 	build := func() (*mg.Setup, error) {
+		if s.cfg.MatrixFree {
+			if a, ok := harness.BuildProblemOperator(sp.problem, sp.size); ok {
+				return s.newSetupOperator(a, sp.smoCfg)
+			}
+		}
 		a, err := harness.BuildProblem(sp.problem, sp.size)
 		if err != nil {
 			return nil, err
@@ -317,6 +330,16 @@ func (s *Server) handleSolveMatrix(w http.ResponseWriter, r *http.Request) {
 // flat across cache hits — the loadgen's cache evidence).
 func (s *Server) newSetup(a *sparse.CSR, smo smoother.Config) (*mg.Setup, error) {
 	setup, err := mg.NewSetup(a, *s.cfg.AMG, smo)
+	if err != nil {
+		return nil, err
+	}
+	setup.SetObserver(s.obs)
+	return setup, nil
+}
+
+// newSetupOperator is newSetup for matrix-free fine-level operators.
+func (s *Server) newSetupOperator(a op.Operator, smo smoother.Config) (*mg.Setup, error) {
+	setup, err := mg.NewSetupOperator(a, *s.cfg.AMG, smo)
 	if err != nil {
 		return nil, err
 	}
@@ -429,13 +452,14 @@ func (s *Server) solve(w http.ResponseWriter, r *http.Request, sp *spec, key str
 	}
 
 	resp := SolveResponse{
-		Problem: sp.problem,
-		Rows:    n,
-		Levels:  setup.NumLevels(),
-		Method:  methodName(sp.method),
-		Mode:    sp.mode,
-		Cache:   "miss",
-		Batched: 1,
+		Problem:        sp.problem,
+		Rows:           n,
+		Levels:         setup.NumLevels(),
+		Method:         methodName(sp.method),
+		Mode:           sp.mode,
+		Cache:          "miss",
+		HierarchyBytes: e.bytes,
+		Batched:        1,
 	}
 	if hit {
 		resp.Cache = "hit"

@@ -13,6 +13,7 @@ package smoother
 import (
 	"fmt"
 
+	"asyncmg/internal/op"
 	"asyncmg/internal/partition"
 	"asyncmg/internal/sparse"
 	"asyncmg/internal/vec"
@@ -72,10 +73,17 @@ type Config struct {
 // (the stencil test sets; the FEM sets use 0.5).
 func DefaultConfig() Config { return Config{Kind: WJacobi, Omega: 0.9, Blocks: 1} }
 
-// S is a smoother bound to a matrix.
+// S is a smoother bound to a matrix (or, for the diagonal kinds, to any
+// operator).
 type S struct {
-	Kind   Kind
-	A      *sparse.CSR
+	Kind Kind
+	// A is the CSR view of the operator; nil when the smoother was built
+	// on a matrix-free or reduced-precision operator (diagonal kinds
+	// only — the block kinds need row storage).
+	A *sparse.CSR
+	// Op is the operator view; set by NewOperator, nil for smoothers built
+	// directly on a CSR. When A is nil every matrix access goes through Op.
+	Op     op.Operator
 	Omega  float64
 	Blocks []partition.Range
 	// invDiag is ω/d_i for WJacobi, 1/Σ|a_ij| for L1Jacobi; nil otherwise.
@@ -101,6 +109,69 @@ type Precomputed struct {
 // New builds a smoother for a. cfg.Blocks <= 0 defaults to 1 block.
 func New(a *sparse.CSR, cfg Config) (*S, error) {
 	return NewWith(a, cfg, Precomputed{})
+}
+
+// NewOperator builds a smoother bound to an arbitrary operator. When the
+// operator is backed by a float64 CSR this is exactly NewWith; otherwise
+// only the diagonal kinds (WJacobi, L1Jacobi) are supported — the block
+// kinds need triangular row storage, which matrix-free and
+// reduced-precision operators do not expose.
+func NewOperator(a op.Operator, cfg Config, pre Precomputed) (*S, error) {
+	if m := op.AsCSR(a); m != nil {
+		s, err := NewWith(m, cfg, pre)
+		if err == nil {
+			s.Op = a
+		}
+		return s, err
+	}
+	switch cfg.Kind {
+	case WJacobi, L1Jacobi:
+	default:
+		return nil, fmt.Errorf("smoother: %v requires a materialized float64 matrix; matrix-free and reduced-precision operators support only the diagonal smoothers (w-jacobi, l1-jacobi)", cfg.Kind)
+	}
+	if a.Rows() != a.Cols() {
+		return nil, fmt.Errorf("smoother: operator must be square, got %dx%d", a.Rows(), a.Cols())
+	}
+	nb := cfg.Blocks
+	if nb <= 0 {
+		nb = 1
+	}
+	s := &S{
+		Kind:   cfg.Kind,
+		Op:     a,
+		Omega:  cfg.Omega,
+		Blocks: partition.SplitRows(a.Rows(), nb),
+	}
+	switch cfg.Kind {
+	case WJacobi:
+		if cfg.Omega <= 0 || cfg.Omega > 2 {
+			return nil, fmt.Errorf("smoother: ω-Jacobi weight %v outside (0, 2]", cfg.Omega)
+		}
+		d := pre.Diag
+		if d == nil {
+			d = a.Diag()
+		}
+		s.invDiag = make([]float64, a.Rows())
+		for i, v := range d {
+			if v == 0 {
+				return nil, fmt.Errorf("smoother: zero diagonal at row %d", i)
+			}
+			s.invDiag[i] = cfg.Omega / v
+		}
+	case L1Jacobi:
+		l1 := pre.RowL1
+		if l1 == nil {
+			l1 = a.RowL1Norms()
+		}
+		s.invDiag = make([]float64, a.Rows())
+		for i, v := range l1 {
+			if v == 0 {
+				return nil, fmt.Errorf("smoother: empty row %d", i)
+			}
+			s.invDiag[i] = 1 / v
+		}
+	}
+	return s, nil
 }
 
 // NewWith builds a smoother for a, reusing any precomputed diagonal or
@@ -296,12 +367,24 @@ func (s *S) ApplyBlockAtomic(e *vec.Atomic, r []float64, b int) {
 	}
 }
 
+// residual computes scratch = r − A e through whichever matrix view the
+// smoother holds. The CSR path stays the exact serial kernel the golden
+// histories pin; the operator path (matrix-free / reduced precision) uses
+// the sharded residual, bitwise-identical to serial by kernel contract.
+func (s *S) residual(scratch, r, e []float64) {
+	if s.A != nil {
+		s.A.Residual(scratch, r, e)
+		return
+	}
+	s.Op.Residual(scratch, r, e)
+}
+
 // Sweep performs one general smoothing sweep e ← e + M⁻¹ (r − A e) serially.
 // scratch must have length A.Rows and is clobbered.
 func (s *S) Sweep(e, r, scratch []float64) {
 	switch s.Kind {
 	case WJacobi, L1Jacobi:
-		s.A.Residual(scratch, r, e)
+		s.residual(scratch, r, e)
 		for i := range e {
 			e[i] += s.invDiag[i] * scratch[i]
 		}
@@ -367,6 +450,43 @@ func InterpolantScalingWith(a *sparse.CSR, cfg Config, pre Precomputed) ([]float
 			d = a.Diag()
 		}
 		out := make([]float64, a.Rows)
+		for i, v := range d {
+			if v == 0 {
+				return nil, fmt.Errorf("smoother: zero diagonal at row %d", i)
+			}
+			out[i] = omega / v
+		}
+		return out, nil
+	}
+}
+
+// InterpolantScalingOp is InterpolantScalingWith for an arbitrary
+// operator (the matrix-free and reduced-precision hierarchy levels).
+func InterpolantScalingOp(a op.Operator, cfg Config, pre Precomputed) ([]float64, error) {
+	switch cfg.Kind {
+	case L1Jacobi:
+		l1 := pre.RowL1
+		if l1 == nil {
+			l1 = a.RowL1Norms()
+		}
+		out := make([]float64, a.Rows())
+		for i, v := range l1 {
+			if v == 0 {
+				return nil, fmt.Errorf("smoother: empty row %d", i)
+			}
+			out[i] = 1 / v
+		}
+		return out, nil
+	default:
+		omega := cfg.Omega
+		if omega <= 0 {
+			omega = 0.9
+		}
+		d := pre.Diag
+		if d == nil {
+			d = a.Diag()
+		}
+		out := make([]float64, a.Rows())
 		for i, v := range d {
 			if v == 0 {
 				return nil, fmt.Errorf("smoother: zero diagonal at row %d", i)
@@ -471,7 +591,11 @@ func (s *S) ApplySymmetrized(e, r, scratch []float64) {
 			e[i] = s.invDiag[i] * r[i]
 		}
 		// scratch = A u
-		s.A.MatVec(scratch, e)
+		if s.A != nil {
+			s.A.MatVec(scratch, e)
+		} else {
+			s.Op.Apply(scratch, e)
+		}
 		// e = 2u − M⁻¹ scratch
 		for i := range e {
 			e[i] = 2*e[i] - s.invDiag[i]*scratch[i]

@@ -42,9 +42,9 @@ func csrBitwiseEq(t *testing.T, name string, got, want *CSR) {
 // empty-shard paths of the transpose (more workers than rows).
 func TestSetupKernelsBitwiseAcrossWorkerCounts(t *testing.T) {
 	type fixture struct {
-		a, p          *CSR
-		ap, rap, aT   *CSR // serial references
-		pT            *CSR
+		a, p        *CSR
+		ap, rap, aT *CSR // serial references
+		pT          *CSR
 	}
 	par.SetWorkers(1)
 	var fixtures []*fixture

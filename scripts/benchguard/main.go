@@ -33,6 +33,17 @@
 //
 //	go run ./cmd/mgserve -cluster-loadgen -out BENCH_cluster.json
 //	go run ./scripts/benchguard -cluster BENCH_cluster.json
+//
+// A fourth mode guards the matrix-free stencil kernels: `-stencil` reads
+// `go test -bench 'StencilApply|MixedPrecisionCycle'` output on stdin and
+// enforces the operator-generic engine's structural invariants — the 7pt
+// stencil apply at least 2x the CSR row throughput (the 27pt stencil,
+// whose 27-point gather is arithmetically much closer to a CSR row, gets
+// a softer 1.2x floor), and zero allocations per operation on every
+// stencil and mixed-precision-cycle benchmark:
+//
+//	go test -run '^$' -bench 'StencilApply|MixedPrecisionCycle' -benchtime 100x . | \
+//	    go run ./scripts/benchguard -stencil
 package main
 
 import (
@@ -71,6 +82,9 @@ func main() {
 	base := flag.String("baseline", "", "compare the run against this baseline JSON")
 	serveFile := flag.String("serve", "", "check a BENCH_serve.json written by mgserve -loadgen")
 	clusterFile := flag.String("cluster", "", "check a BENCH_cluster.json written by mgserve -cluster-loadgen")
+	stencil := flag.Bool("stencil", false, "check StencilApply/MixedPrecisionCycle bench output on stdin")
+	minStencil := flag.Float64("min-stencil-speedup", 2.0, "minimum 7pt stencil-vs-CSR apply speedup (-stencil only)")
+	min27 := flag.Float64("min-stencil27-speedup", 1.2, "minimum 27pt stencil-vs-CSR apply speedup (-stencil only)")
 	minSpeedup := flag.Float64("min-speedup", 1.05, "minimum batch-vs-sequential solve speedup (-serve only)")
 	minHitRate := flag.Float64("min-hit-rate", 0.5, "minimum restart-phase cache hit rate (-cluster only)")
 	tol := flag.Float64("tol", 0.10, "relative allocs/op headroom before a regression is reported")
@@ -83,9 +97,19 @@ func main() {
 			set++
 		}
 	}
+	if *stencil {
+		set++
+	}
 	if set != 1 {
-		fmt.Fprintln(os.Stderr, "benchguard: exactly one of -write, -baseline, -serve or -cluster is required")
+		fmt.Fprintln(os.Stderr, "benchguard: exactly one of -write, -baseline, -serve, -cluster or -stencil is required")
 		os.Exit(2)
+	}
+	if *stencil {
+		if err := checkStencil(bufio.NewScanner(os.Stdin), *minStencil, *min27); err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *serveFile != "" {
 		if err := checkServe(*serveFile, *minSpeedup); err != nil {
@@ -339,4 +363,61 @@ func parse(sc *bufio.Scanner) (map[string]entry, string, error) {
 		out[name] = e
 	}
 	return out, cpu, sc.Err()
+}
+
+// checkStencil enforces the matrix-free kernel invariants on a
+// `go test -bench 'StencilApply|MixedPrecisionCycle'` run: every stencil
+// and mixed-precision benchmark is allocation-free, and the stencil apply
+// beats the assembled CSR SpMV on row throughput by the per-stencil floor
+// (both benchmarks sweep the same rows, so the throughput ratio is the
+// inverse time ratio).
+func checkStencil(sc *bufio.Scanner, min7, min27 float64) error {
+	run, _, err := parse(sc)
+	if err != nil {
+		return err
+	}
+	if len(run) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin")
+	}
+	var fails []string
+	checkf := func(ok bool, format string, args ...any) {
+		if !ok {
+			fails = append(fails, fmt.Sprintf(format, args...))
+		}
+	}
+	for name, e := range run {
+		if strings.Contains(name, "StencilApply") || strings.Contains(name, "MixedPrecisionCycle") {
+			checkf(e.AllocsPerOp == 0, "%s: %.0f allocs/op, want 0", name, e.AllocsPerOp)
+		}
+	}
+	for _, tc := range []struct {
+		problem string
+		floor   float64
+	}{
+		{"7pt", min7},
+		{"27pt", min27},
+	} {
+		csr, okC := run["BenchmarkStencilApply/"+tc.problem+"/csr"]
+		st, okS := run["BenchmarkStencilApply/"+tc.problem+"/stencil"]
+		checkf(okC && okS, "%s: missing StencilApply csr/stencil pair", tc.problem)
+		if okC && okS && st.NsPerOp > 0 {
+			speedup := csr.NsPerOp / st.NsPerOp
+			checkf(speedup >= tc.floor, "%s: stencil apply %.2fx CSR row throughput, want >= %.2fx",
+				tc.problem, speedup, tc.floor)
+		}
+	}
+	if _, ok := run["BenchmarkMixedPrecisionCycle/f64"]; !ok {
+		checkf(false, "missing MixedPrecisionCycle/f64 benchmark")
+	}
+	if _, ok := run["BenchmarkMixedPrecisionCycle/f32-coarse"]; !ok {
+		checkf(false, "missing MixedPrecisionCycle/f32-coarse benchmark")
+	}
+	if len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintf(os.Stderr, "benchguard: FAIL %s\n", f)
+		}
+		return fmt.Errorf("%d stencil invariant(s) violated", len(fails))
+	}
+	fmt.Printf("benchguard: stencil invariants hold (%d benchmarks)\n", len(run))
+	return nil
 }
