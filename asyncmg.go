@@ -301,6 +301,14 @@ func SolveSyncCtx(ctx context.Context, s *Setup, m Method, b []float64, tmax int
 	return s.SolveCtx(ctx, m, b, tmax)
 }
 
+// SolveSyncDamped runs tmax uniformly damped additive V-cycles (Multadd
+// or AFACx) with every grid's correction scaled by omega before
+// prolongation: the deterministic sequential reference for the
+// asynchronous damped path (omega = 1 matches SolveSync bit for bit).
+func SolveSyncDamped(s *Setup, m Method, b []float64, tmax int, omega float64) (x []float64, hist []float64) {
+	return s.SolveDamped(m, b, tmax, omega)
+}
+
 // SolveSyncBlock solves k right-hand sides at once. b packs the columns
 // row-major (b[i*k+c] is row i of column c) and x is packed the same way;
 // hists[c] is column c's relative-residual history. Column by column the
@@ -352,7 +360,19 @@ type ResMode = async.ResMode
 // StopCriterion selects the paper's stopping rule.
 type StopCriterion = async.Criterion
 
-// Write modes, residual modes and stopping criteria.
+// DampingPolicy parameterizes the per-grid correction damping of the
+// additive parallel solvers (stabilised async): off, fixed ω, or the
+// adaptive staleness-driven controller, plus the rollback-last guard.
+type DampingPolicy = async.DampingPolicy
+
+// DampMode selects the damping policy's mode.
+type DampMode = async.DampMode
+
+// AsyncPerturb injects deterministic read-delay and straggler adversity
+// into asynchronous runs (testing and the staleness-sweep harness).
+type AsyncPerturb = async.Perturb
+
+// Write modes, residual modes, stopping criteria and damping modes.
 const (
 	LockWrite   = async.LockWrite
 	AtomicWrite = async.AtomicWrite
@@ -363,6 +383,10 @@ const (
 
 	Criterion1 = async.Criterion1
 	Criterion2 = async.Criterion2
+
+	DampOff   = async.DampOff
+	DampFixed = async.DampFixed
+	DampAuto  = async.DampAuto
 )
 
 // SolveAsync runs the configured parallel multigrid solver on A x = b.

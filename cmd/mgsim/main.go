@@ -49,6 +49,9 @@ func main() {
 	faultSweep := flag.Bool("fault", false, "run the distributed fault-injection sweep instead of a figure")
 	drop := flag.String("drop", "", "comma-separated drop rates for the -fault sweep (default 0.05,0.10,0.20)")
 	seed := flag.Int64("seed", 1, "fault-schedule seed for the -fault sweep")
+	staleness := flag.Bool("staleness", false, "run the staleness × damping-policy stability sweep instead of a figure")
+	holds := flag.String("holds", "", "comma-separated uniform read-holds for the -staleness sweep (default 1,4,8)")
+	jsonOut := flag.String("out", "", "write the -staleness stability map to this file as JSON (for benchguard -async)")
 	metricsOut := flag.String("metrics-out", "", "write solver metrics (per-grid relaxation counts, staleness histogram, fault counters) to this file in exposition format")
 	pprofAddr := flag.String("pprof", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
 	traceOut := flag.String("trace", "", "write a runtime execution trace to this file (view with go tool trace)")
@@ -80,6 +83,41 @@ func main() {
 		}
 	}
 	defer finish()
+
+	if *staleness {
+		cfg := harness.DefaultStaleness()
+		cfg.Seed = *seed
+		cfg.Observer = o
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "updates" {
+				cfg.Cycles = *updates
+			}
+		})
+		if *holds != "" {
+			hs, err := parseSizes(*holds, false)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg.Holds = hs
+		}
+		m, err := harness.StalenessSweep(os.Stdout, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := m.WriteJSON(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return
+	}
 
 	if *faultSweep {
 		cfg := harness.DefaultFault()

@@ -48,6 +48,10 @@ func main() {
 	threads := flag.Int("threads", 8, "goroutines for -async")
 	writeMode := flag.String("write", "atomic", "async write mode: lock, atomic")
 	resMode := flag.String("res", "local", "async residual mode: local, global, residual")
+	damp := flag.Float64("damp", 0, "fixed correction damping factor ω in (0,1] for -async additive runs (0 = off)")
+	dampAuto := flag.Bool("damp-auto", false, "adaptive staleness-driven damping with rollback-last (overrides -damp's mode; -damp then sets the starting/maximum ω)")
+	readHold := flag.Int("read-hold", 0, "perturbation: each grid refreshes its read only every N of its own corrections (0/1 = off)")
+	stragglers := flag.String("stragglers", "", "perturbation: comma-separated grid indices that refresh 4x slower")
 	seed := flag.Int64("seed", 1, "right-hand-side seed")
 	parWorkers := flag.Int("par-workers", 0, "worker-pool size for the sharded level kernels (0 = GOMAXPROCS)")
 	parThreshold := flag.Int("par-threshold", 0, "minimum kernel work before sharding; smaller levels stay serial (0 = default)")
@@ -161,9 +165,27 @@ func main() {
 		default:
 			log.Fatalf("unknown residual mode %q", *resMode)
 		}
+		policy := async.DampingPolicy{}
+		if *dampAuto {
+			policy = async.DampingPolicy{Mode: async.DampAuto, Omega: *damp, Rollback: true}
+		} else if *damp != 0 {
+			policy = async.DampingPolicy{Mode: async.DampFixed, Omega: *damp}
+		}
+		perturb := async.Perturb{ReadHold: *readHold}
+		for _, f := range strings.Split(*stragglers, ",") {
+			if f = strings.TrimSpace(f); f == "" {
+				continue
+			}
+			var k int
+			if _, err := fmt.Sscanf(f, "%d", &k); err != nil {
+				log.Fatalf("bad -stragglers entry %q", f)
+			}
+			perturb.Stragglers = append(perturb.Stragglers, k)
+		}
 		res, err := async.Solve(context.Background(), setup, b, async.Config{
 			Method: m, Write: wm, Res: rm,
 			Criterion: async.Criterion1, Threads: *threads, MaxCycles: *cycles,
+			Damping: policy, Perturb: perturb,
 			Observer: o,
 		})
 		if err != nil {
@@ -172,6 +194,10 @@ func main() {
 		fmt.Printf("async %v %v %v: rel res %.3e in %v (diverged=%v)\n",
 			m, wm, rm, res.RelRes, res.Elapsed, res.Diverged)
 		fmt.Printf("per-grid corrections: %v (avg %.1f)\n", res.Corrections, res.AvgCorrects)
+		if policy.Mode != async.DampOff {
+			fmt.Printf("damping %v: final ω per grid %v (tightens %d, relaxes %d, rolled back=%v)\n",
+				policy.Mode, formatOmegas(res.FinalOmega), res.DampTightens, res.DampRelaxes, res.RolledBack)
+		}
 		if res.Diverged {
 			finish() // os.Exit skips the deferred flush
 			os.Exit(1)
@@ -187,6 +213,20 @@ func main() {
 	}
 	fmt.Printf("asymptotic convergence factor (power iteration): %.4f\n",
 		setup.ConvergenceFactor(m, 30, *seed))
+}
+
+// formatOmegas prints the per-grid damping factors compactly.
+func formatOmegas(ws []float64) string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i, w := range ws {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%.3f", w)
+	}
+	sb.WriteByte(']')
+	return sb.String()
 }
 
 func parseMethod(s string) (mg.Method, error) {

@@ -46,3 +46,46 @@ func TestComputeCorrectionZeroAllocs(t *testing.T) {
 		}
 	}
 }
+
+// TestDampedCorrectionZeroAllocs enforces the same steady-state
+// contract on the damped path: scaling the level-k correction by ω (and
+// the controller bookkeeping around it) must not allocate either.
+func TestDampedCorrectionZeroAllocs(t *testing.T) {
+	a := grid.Laplacian7pt(10)
+	s, err := mg.NewSetup(a, amg.DefaultOptions(), smoother.DefaultConfig())
+	if err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	l := s.NumLevels()
+	b := grid.RandomRHS(s.LevelSize(0), 1)
+	for _, m := range []mg.Method{mg.Multadd, mg.AFACx} {
+		rt := &solverState{
+			s: s, cfg: Config{Method: m, Threads: l, MaxCycles: 1,
+				Damping: DampingPolicy{Mode: DampAuto, Omega: 0.8, Rollback: true}},
+			n: s.LevelSize(0), b: b,
+		}
+		rt.damp = rt.cfg.Damping.resolve(l)
+		rt.auto = true
+		rt.guard = true
+		rt.guardLimit = 1e100
+		rt.grids = make([]*gridRun, l)
+		for k := 0; k < l; k++ {
+			g, err := newGridRun(rt, k, 1)
+			if err != nil {
+				t.Fatalf("%v grid %d: %v", m, k, err)
+			}
+			rt.grids[k] = g
+		}
+		for k, g := range rt.grids {
+			g.computeCorrection(0, g.rk) // warm up (first LU solve)
+			allocs := testing.AllocsPerRun(10, func() {
+				g.checkHealth()
+				g.computeCorrection(0, g.rk)
+				g.adaptOmega(int64(2 * l))
+			})
+			if allocs != 0 {
+				t.Errorf("%v grid %d: %v allocs/run on damped path, want 0", m, k, allocs)
+			}
+		}
+	}
+}

@@ -133,6 +133,15 @@ type Config struct {
 	// from), and cycle events. Recording is atomic and allocation-free;
 	// nil disables instrumentation entirely.
 	Observer *obs.Observer
+	// Damping selects the per-grid correction-damping policy for the
+	// additive methods (see DampingPolicy). The zero value applies
+	// corrections undamped with no rollback guard — the historical
+	// behavior, bit for bit.
+	Damping DampingPolicy
+	// Perturb injects deterministic read-delay and straggler adversity
+	// into asynchronous runs (testing and the staleness-sweep harness);
+	// the zero value injects nothing. Ignored for Sync and Mult.
+	Perturb Perturb
 }
 
 // Result reports a parallel solve's outcome.
@@ -156,6 +165,18 @@ type Result struct {
 	// History holds ‖r‖₂/‖b‖₂ after each cycle when RecordHistory was set
 	// on a synchronous run (History[0] == 1); nil otherwise.
 	History []float64
+	// RolledBack is set when the rollback-last defense discarded the
+	// iterate: X is the initial guess (zero), RelRes is 1, and Diverged
+	// is set. Requires DampingPolicy.Rollback (or a divergent finish
+	// under an armed policy).
+	RolledBack bool
+	// FinalOmega[k] is grid k's damping factor when the solve ended
+	// (all 1 with DampOff); nil for Mult.
+	FinalOmega []float64
+	// DampTightens / DampRelaxes count adaptive-controller events across
+	// all grids: tightens lowered some ω_k, relaxes raised it back
+	// toward the policy maximum.
+	DampTightens, DampRelaxes int64
 }
 
 // Solve runs the configured parallel multigrid solver on A x = b, x0 = 0.
@@ -172,8 +193,14 @@ func Solve(ctx context.Context, s *mg.Setup, b []float64, cfg Config) (*Result, 
 	if len(b) != n {
 		return nil, fmt.Errorf("async: len(b) = %d, want %d", len(b), n)
 	}
+	if err := cfg.Damping.validate(); err != nil {
+		return nil, err
+	}
 	switch cfg.Method {
 	case mg.Mult:
+		if cfg.Damping.Mode != DampOff {
+			return nil, fmt.Errorf("async: damping applies to the additive methods, not Mult")
+		}
 		return solveMult(ctx, s, b, cfg)
 	case mg.Multadd, mg.AFACx:
 		l := s.NumLevels()
@@ -182,6 +209,9 @@ func Solve(ctx context.Context, s *mg.Setup, b []float64, cfg Config) (*Result, 
 		}
 		if cfg.Res == ResidualRes && cfg.Method != mg.Multadd {
 			return nil, fmt.Errorf("async: residual-based update (r-Multadd) requires Multadd")
+		}
+		if err := cfg.Perturb.validate(l); err != nil {
+			return nil, err
 		}
 		return solveAdditive(ctx, s, b, cfg)
 	default:
@@ -203,11 +233,22 @@ type solverState struct {
 	muX, muR sync.Mutex // lock-write mutexes
 
 	stop      atomic.Bool // criterion-2 stop flag
+	abort     atomic.Bool // rollback-last mid-flight divergence abort
 	corrCount []atomic.Int64
-	// epoch counts corrections applied globally (all grids); maintained
-	// only when cfg.Observer is set. The difference between a team's write
-	// instant and its residual-read instant is the empirical staleness δ.
+	// epoch counts corrections applied globally (all grids), maintained
+	// unconditionally for asynchronous additive runs: the difference
+	// between a team's write instant and its residual-read instant is
+	// the empirical staleness δ, and the one δ computed after the
+	// correction is applied feeds both the obs staleness histogram and
+	// the damping controller.
 	epoch atomic.Int64
+	// damp is the resolved damping policy; auto arms the adaptive
+	// controller and guard arms the refresh-time health check.
+	damp        DampingPolicy
+	auto, guard bool
+	// guardLimit is the squared residual-slab norm past which the
+	// rollback guard declares divergence ((DivergedRelRes·‖b‖₂)²).
+	guardLimit float64
 	// history[t+1] is the relative residual after cycle t (RecordHistory).
 	history []float64
 	normB   float64
@@ -253,8 +294,25 @@ type gridRun struct {
 	// before a barrier, read after it).
 	stopLocal bool
 	// readEpoch is the global correction epoch at the instant this grid
-	// last read the shared residual state (thread 0 only; observer runs).
+	// last refreshed its read of the shared residual state (thread 0
+	// only; r^k = b corresponds to epoch 0, the initial value).
 	readEpoch int64
+	// hold is this grid's read-refresh period in own-corrections (>= 1;
+	// > 1 only under Perturb injection).
+	hold int
+	// omega is the team-visible damping factor every site applies this
+	// cycle. Thread 0 publishes nextOmega into it in the pre-barrier
+	// block at the top of each cycle, so teammates reading it after the
+	// barrier always agree; all other controller state below is
+	// thread-0 private.
+	omega float64
+	// nextOmega is the controller's pending factor; lastProxy and
+	// healthy track the residual slab between read refreshes; tightens
+	// and relaxes count controller events for Result.
+	nextOmega         float64
+	lastProxy         float64
+	healthy           bool
+	tightens, relaxes int64
 }
 
 // recordCorrection reports one applied correction of grid k to the
@@ -287,15 +345,19 @@ func solveAdditive(ctx context.Context, s *mg.Setup, b []float64, cfg Config) (*
 		rt.r = vec.NewAtomic(rt.n)
 		rt.r.SetAll(b) // r = b − A·0
 	}
+	rt.normB = vec.Norm2(b)
+	if rt.normB == 0 {
+		rt.normB = 1
+	}
+	rt.damp = cfg.Damping.resolve(l)
+	rt.auto = rt.damp.Mode == DampAuto && !cfg.Sync
+	rt.guard = (rt.auto || rt.damp.Rollback) && !cfg.Sync
+	rt.guardLimit = (vec.DivergedRelRes * rt.normB) * (vec.DivergedRelRes * rt.normB)
 	if cfg.Sync {
 		rt.globalBarrier = NewBarrier(cfg.Threads)
 		if cfg.RecordHistory {
 			rt.history = make([]float64, cfg.MaxCycles+1)
 			rt.history[0] = 1
-			rt.normB = vec.Norm2(b)
-			if rt.normB == 0 {
-				rt.normB = 1
-			}
 		}
 	}
 
@@ -340,15 +402,12 @@ func solveAdditive(ctx context.Context, s *mg.Setup, b []float64, cfg Config) (*
 	rt.x.Snapshot(x)
 	res := make([]float64, rt.n)
 	s.Ops[0].Residual(res, b, x)
-	nb := vec.Norm2(b)
-	if nb == 0 {
-		nb = 1
-	}
 	out := &Result{
 		X:           x,
-		RelRes:      vec.Norm2(res) / nb,
+		RelRes:      vec.Norm2(res) / rt.normB,
 		Corrections: make([]int, l),
 		Elapsed:     elapsed,
+		FinalOmega:  make([]float64, l),
 	}
 	out.Diverged = vec.Diverged(x, out.RelRes)
 	total := 0
@@ -356,9 +415,24 @@ func solveAdditive(ctx context.Context, s *mg.Setup, b []float64, cfg Config) (*
 		c := int(rt.corrCount[k].Load())
 		out.Corrections[k] = c
 		total += c
+		g := rt.grids[k]
+		out.FinalOmega[k] = g.nextOmega
+		out.DampTightens += g.tightens
+		out.DampRelaxes += g.relaxes
+		cfg.Observer.OmegaSet(k, g.nextOmega)
 	}
 	out.AvgCorrects = float64(total) / float64(l)
 	out.History = rt.history
+	if rt.damp.Rollback && (rt.abort.Load() || out.Diverged) {
+		// Rollback-last: damping could not stabilise the run (or was
+		// off); discard the iterate and return the initial guess, whose
+		// relative residual is exactly 1.
+		cfg.Observer.RolledBack(out.RelRes)
+		vec.Zero(out.X)
+		out.RelRes = 1
+		out.Diverged = true
+		out.RolledBack = true
+	}
 	return out, nil
 }
 
@@ -394,6 +468,10 @@ func newGridRun(rt *solverState, k, m int) (*gridRun, error) {
 	}
 	s := rt.s
 	g := &gridRun{rt: rt, k: k, m: m, team: NewBarrier(m)}
+	g.hold = rt.cfg.Perturb.holdFor(k)
+	g.omega = rt.damp.initialOmega()
+	g.nextOmega = g.omega
+	g.healthy = true
 	g.fineRanges = partition.SplitRows(rt.n, m)
 	l := s.NumLevels()
 	g.levelRanges = make([][]partition.Range, l)

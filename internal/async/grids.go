@@ -35,11 +35,14 @@ func (g *gridRun) runAsync(tid int) {
 			default:
 				g.stopLocal = rt.stop.Load()
 			}
-			// Context cancellation stops every team at the next cycle
-			// boundary regardless of criterion.
-			if rt.ctx.Err() != nil {
+			// Context cancellation and the rollback-last abort stop every
+			// team at the next cycle boundary regardless of criterion.
+			if rt.ctx.Err() != nil || rt.abort.Load() {
 				g.stopLocal = true
 			}
+			// Publish the controller's pending ω before the barrier so
+			// every teammate reads the same factor this cycle.
+			g.omega = g.nextOmega
 		}
 		g.team.Wait()
 		if g.stopLocal {
@@ -50,26 +53,38 @@ func (g *gridRun) runAsync(tid int) {
 		// Algorithm 5's loop reads x and refreshes r^k once per iteration;
 		// cutting the cycle here rather than after the write reads the
 		// newest available residual slabs, which matters under cooperative
-		// scheduling.
-		if myCount > 0 {
+		// scheduling. Under Perturb injection a grid refreshes only every
+		// hold-th correction — the reproducible slow-reader adversity the
+		// staleness sweep drives.
+		refresh := myCount > 0 && myCount%g.hold == 0
+		if refresh {
 			g.readX(tid)
 			g.acquireResidual(tid)
 		}
-		if tid == 0 && rt.cfg.Observer != nil {
-			// The residual the correction below is computed from was read
-			// at this epoch (r^k = b on the first pass, epoch 0).
+		if tid == 0 && refresh {
+			// The residual the corrections below are computed from was
+			// read at this epoch (r^k = b before the first refresh, epoch
+			// 0 — the initial readEpoch).
 			g.readEpoch = rt.epoch.Load()
+			if rt.guard {
+				g.checkHealth()
+			}
 		}
 		out := g.computeCorrection(tid, g.rk)
 		g.writeX(tid, out)
 		g.publishResidual(tid, out)
 		myCount++
 		if tid == 0 {
-			if rt.cfg.Observer != nil {
-				// Staleness: corrections applied globally between our
-				// residual read and our write, excluding our own.
-				applied := rt.epoch.Add(1) - 1
-				rt.recordCorrection(g.k, applied-g.readEpoch)
+			// Staleness δ: corrections applied globally between our
+			// residual read and our write, excluding our own — observed
+			// once, after the correction is applied, so the histogram and
+			// the damping controller see the same δ the correction
+			// actually had.
+			applied := rt.epoch.Add(1) - 1
+			delta := applied - g.readEpoch
+			rt.recordCorrection(g.k, delta)
+			if rt.auto {
+				g.adaptOmega(delta)
 			}
 			rt.corrCount[g.k].Store(int64(myCount))
 			// Criterion 2: the master thread (grid 0, thread 0) raises the
@@ -158,9 +173,12 @@ func (g *gridRun) runSync(tid int) {
 // reuse rfine until the next cycle. The correction math itself is the
 // engine's shared implementation; every thread runs it concurrently with
 // its own teamSite, and the Site barriers reproduce the team-parallel
-// loop structure exactly.
+// loop structure exactly. The grid's current damping factor scales the
+// level-k correction in place (ω = 1, the undamped default, skips the
+// scaling pass bit for bit); every teammate reads the same omega because
+// thread 0 publishes it only in the pre-barrier block at the cycle top.
 func (g *gridRun) computeCorrection(tid int, rfine []float64) []float64 {
-	return g.rt.s.Correction(g.rt.cfg.Method, g.k, rfine, &g.buf, &g.sites[tid])
+	return g.rt.s.DampedCorrection(g.rt.cfg.Method, g.k, rfine, g.omega, &g.buf, &g.sites[tid])
 }
 
 // teamSite adapts one team thread to the engine's Site interface: spans

@@ -56,6 +56,17 @@ type CorrBuffers struct {
 // must be Multadd or AFACx. The fine residual must not be reused by the
 // caller until the correction completes.
 func (s *Engine) Correction(method Method, k int, rfine []float64, b *CorrBuffers, site Site) []float64 {
+	return s.DampedCorrection(method, k, rfine, 1, b, site)
+}
+
+// DampedCorrection is Correction with the grid's level-k correction
+// scaled by omega before prolongation: the additive damping ω_k B_k of
+// the stabilised asynchronous cycle. By linearity of the interpolants,
+// scaling at level k equals scaling the finest-level output while
+// touching only level-k entries, and the elementwise scale is bitwise
+// reproducible for any team size. omega = 1 skips the scaling pass (and
+// its barrier) entirely, so the undamped path is unchanged bit for bit.
+func (s *Engine) DampedCorrection(method Method, k int, rfine []float64, omega float64, b *CorrBuffers, site Site) []float64 {
 	l := s.NumLevels()
 	var chain []op.Interp
 	switch method {
@@ -101,6 +112,17 @@ func (s *Engine) Correction(method Method, k int, rfine []float64, b *CorrBuffer
 		s.Ops[k].ResidualRange(mod, cur, pe, lo, hi)
 		site.Sync()
 		site.Smooth(k, e, mod)
+	}
+	if omega != 1 {
+		// Damp this grid's correction over the site's span. Every site
+		// reads the same omega (the caller establishes that), so the
+		// branch and the barrier count agree across the team.
+		lo, hi := site.Span(k)
+		ek := e[lo:hi]
+		for i := range ek {
+			ek[i] *= omega
+		}
+		site.Sync()
 	}
 	// Prolongate back to the finest level.
 	out := e
@@ -174,5 +196,14 @@ func (s *Engine) NewCorrWorkspace() *CorrWorkspace {
 // or AFACx.
 func (s *Engine) GridCorrection(method Method, k int, out, rfine []float64, w *CorrWorkspace) {
 	res := s.Correction(method, k, rfine, &w.buf, &w.site)
+	copy(out, res)
+}
+
+// GridCorrectionDamped is GridCorrection with the correction damped by
+// omega at level k (see DampedCorrection). It is the serial reference
+// the worker-count property tests compare the team-parallel damped path
+// against.
+func (s *Engine) GridCorrectionDamped(method Method, k int, out, rfine []float64, omega float64, w *CorrWorkspace) {
+	res := s.DampedCorrection(method, k, rfine, omega, &w.buf, &w.site)
 	copy(out, res)
 }

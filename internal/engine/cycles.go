@@ -80,6 +80,15 @@ func (s *Engine) MultCycle(x, b []float64, w *Workspace) {
 // restricted residuals cascade down once and each grid's correction is
 // prolongated back up and added into x.
 func (s *Engine) MultaddCycle(x, b []float64, w *Workspace) {
+	s.MultaddCycleDamped(x, b, w, 1)
+}
+
+// MultaddCycleDamped performs one Multadd V-cycle with every grid's
+// correction scaled by omega before prolongation (x ← x + ω Σ_k B_k r):
+// the deterministic sequential reference for the asynchronous damped
+// path. omega = 1 reproduces MultaddCycle bit for bit — the scaling pass
+// is skipped and AxpyPar with α = 1 is exact.
+func (s *Engine) MultaddCycleDamped(x, b []float64, w *Workspace, omega float64) {
 	l := s.NumLevels()
 	s.Ops[0].Residual(w.r[0], b, x)
 	// Cascade restrictions with the smoothed interpolants.
@@ -95,6 +104,10 @@ func (s *Engine) MultaddCycle(x, b []float64, w *Workspace) {
 			s.Smo[k].Apply(w.e[k], w.r[k])
 		}
 		s.obs.Relaxed(k, 1)
+		// Damp at level k, matching where DampedCorrection scales.
+		if omega != 1 {
+			vec.Scale(omega, w.e[k])
+		}
 		// Prolongate to the finest level through the smoothed chain.
 		cur := w.e[k]
 		for j := k - 1; j >= 0; j-- {
@@ -137,6 +150,15 @@ func (s *Engine) AFACxCycle(x, b []float64, w *Workspace) {
 // correction that is subtracted to prevent over-correction. The paper
 // evaluates V(1/1,0); more sweeps trade work for per-cycle convergence.
 func (s *Engine) AFACxCycleSweeps(x, b []float64, w *Workspace, s1, s2 int) {
+	s.AFACxCycleSweepsDamped(x, b, w, s1, s2, 1)
+}
+
+// AFACxCycleSweepsDamped is AFACxCycleSweeps with every grid's final
+// correction ẽ_k scaled by omega before prolongation (the next-coarser
+// helper sweep e_{k+1} inside the modified right-hand side stays
+// undamped, matching the asynchronous DampedCorrection). omega = 1
+// reproduces AFACxCycleSweeps bit for bit.
+func (s *Engine) AFACxCycleSweepsDamped(x, b []float64, w *Workspace, s1, s2 int, omega float64) {
 	if s1 < 1 || s2 < 1 {
 		panic(fmt.Sprintf("mg: AFACx sweep counts must be >= 1, got (%d/%d)", s1, s2))
 	}
@@ -175,6 +197,9 @@ func (s *Engine) AFACxCycleSweeps(x, b []float64, w *Workspace, s1, s2 int) {
 			// mod aliases w.tmp[k] and must not be clobbered.
 			s.smoothSweeps(k, w.e[k], mod, w.r[k], s1)
 			s.obs.Relaxed(k, int64(s1))
+		}
+		if omega != 1 {
+			vec.Scale(omega, w.e[k])
 		}
 		// Prolongate grid k's correction to the finest level (plain P).
 		cur := w.e[k]
@@ -267,6 +292,45 @@ func (s *Engine) SolveCtx(ctx context.Context, m Method, b []float64, tmax int) 
 		}
 	}
 	return x, hist, nil
+}
+
+// SolveDamped runs tmax uniformly damped additive V-cycles of method m
+// (Multadd or AFACx) from x = 0 and returns the iterate and relative
+// residual history, exactly as Solve does. It is the deterministic
+// sequential reference the damped golden tests pin: the asynchronous
+// damped path applies the same ω_k scaling per correction, but its
+// histories depend on scheduling while these do not. omega = 1 matches
+// Solve bit for bit.
+func (s *Engine) SolveDamped(m Method, b []float64, tmax int, omega float64) (x []float64, hist []float64) {
+	if m != Multadd && m != AFACx {
+		panic(fmt.Sprintf("mg: SolveDamped supports Multadd and AFACx, got %v", m))
+	}
+	n := s.LevelSize(0)
+	x = make([]float64, n)
+	w := s.AcquireWorkspace()
+	defer s.ReleaseWorkspace(w)
+	r := make([]float64, n)
+	nb := vec.Norm2(b)
+	if nb == 0 {
+		nb = 1
+	}
+	hist = make([]float64, 1, tmax+1)
+	hist[0] = 1
+	for t := 0; t < tmax; t++ {
+		if m == Multadd {
+			s.MultaddCycleDamped(x, b, w, omega)
+		} else {
+			s.AFACxCycleSweepsDamped(x, b, w, 1, 1, omega)
+		}
+		s.Ops[0].Residual(r, b, x)
+		rel := vec.Norm2(r) / nb
+		hist = append(hist, rel)
+		s.obs.CycleDone(rel)
+		if vec.HasNonFinite(x) {
+			break
+		}
+	}
+	return x, hist
 }
 
 // MultaddCycleSymmetrized performs one Multadd V-cycle with the symmetrized

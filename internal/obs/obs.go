@@ -175,6 +175,46 @@ func (g *GridCounters) Snapshot(dst []int64) []int64 {
 	return dst
 }
 
+// GridGauges is a fixed-length vector of per-grid gauges, one padded
+// cache line per grid (no high-water mark: damping factors move both
+// ways and the instantaneous value is the signal). Methods are nil-safe
+// and ignore out-of-range grid indices.
+type GridGauges struct {
+	cells []cell
+}
+
+// NewGridGauges returns a gauge vector for `grids` grids.
+func NewGridGauges(grids int) *GridGauges {
+	if grids < 0 {
+		grids = 0
+	}
+	return &GridGauges{cells: make([]cell, grids)}
+}
+
+// Set stores v as grid k's current value.
+func (g *GridGauges) Set(k int, v int64) {
+	if g == nil || k < 0 || k >= len(g.cells) {
+		return
+	}
+	g.cells[k].v.Store(v)
+}
+
+// Load returns grid k's current value.
+func (g *GridGauges) Load(k int) int64 {
+	if g == nil || k < 0 || k >= len(g.cells) {
+		return 0
+	}
+	return g.cells[k].v.Load()
+}
+
+// Len returns the number of grids.
+func (g *GridGauges) Len() int {
+	if g == nil {
+		return 0
+	}
+	return len(g.cells)
+}
+
 // Histogram is a fixed-bucket histogram of int64 observations (counts,
 // ages in sweeps, queue depths). Bucket b counts observations <=
 // Bounds[b]; one implicit overflow bucket counts the rest. Observe is a
@@ -317,6 +357,7 @@ type metric struct {
 	c    *Counter
 	g    *Gauge
 	gc   *GridCounters
+	gg   *GridGauges
 	h    *Histogram
 	call func() int64
 }
@@ -364,6 +405,14 @@ func (r *Registry) NewGridCounters(name string, grids int) *GridCounters {
 	return gc
 }
 
+// NewGridGauges registers and returns a per-grid gauge vector (exposed
+// as <name>{grid="k"}).
+func (r *Registry) NewGridGauges(name string, grids int) *GridGauges {
+	gg := NewGridGauges(grids)
+	r.add(metric{name: name, gg: gg})
+	return gg
+}
+
 // NewHistogram registers and returns a histogram (exposed as
 // <name>_bucket{le="..."} / _sum / _count).
 func (r *Registry) NewHistogram(name string, bounds []int64) *Histogram {
@@ -408,6 +457,12 @@ func (r *Registry) WriteText(w io.Writer) error {
 		case m.gc != nil:
 			for k := 0; k < m.gc.Len(); k++ {
 				if _, err = fmt.Fprintf(w, "%s{grid=%q} %d\n", m.name, strconv.Itoa(k), m.gc.Load(k)); err != nil {
+					break
+				}
+			}
+		case m.gg != nil:
+			for k := 0; k < m.gg.Len(); k++ {
+				if _, err = fmt.Fprintf(w, "%s{grid=%q} %d\n", m.name, strconv.Itoa(k), m.gg.Load(k)); err != nil {
 					break
 				}
 			}

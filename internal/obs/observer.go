@@ -38,6 +38,17 @@ type Observer struct {
 	// the trace (synchronous cycles, CG iterations, distmem applies).
 	CycleResiduals *Counter
 
+	// Omega is each grid's current damping factor ω_k in milli-units
+	// (1000 = undamped), set by the async adaptive-damping controller.
+	Omega *GridGauges
+	// DampTightens / DampRelaxes count controller events per grid: a
+	// tighten lowers ω_k (stale reads or degrading residual history), a
+	// relax raises it back toward 1 as reads freshen.
+	DampTightens, DampRelaxes *GridCounters
+	// Rollbacks counts asynchronous solves whose iterate was discarded
+	// by the rollback-last divergence defense.
+	Rollbacks *Counter
+
 	// Faults unifies the fault/recovery counters of the distmem solver
 	// under the registry (mirrors of distmem.Result's counters).
 	Drops, Duplicates, Crashes, Respawns   *Counter
@@ -98,6 +109,10 @@ func New(grids int) *Observer {
 		Corrections:         r.NewGridCounters("grid_corrections_total", grids),
 		Staleness:           r.NewHistogram("staleness_sweeps", DefaultStalenessBounds()),
 		CycleResiduals:      r.NewCounter("residual_samples_total"),
+		Omega:               r.NewGridGauges("damping_omega_milli", grids),
+		DampTightens:        r.NewGridCounters("damping_tightens_total", grids),
+		DampRelaxes:         r.NewGridCounters("damping_relaxes_total", grids),
+		Rollbacks:           r.NewCounter("async_rollbacks_total"),
 		Drops:               r.NewCounter("fault_drops_total"),
 		Duplicates:          r.NewCounter("fault_duplicates_total"),
 		Crashes:             r.NewCounter("fault_crashes_total"),
@@ -175,6 +190,46 @@ func (o *Observer) Corrected(k int, staleness int64) {
 		o.Staleness.Observe(staleness)
 	}
 	o.Trace.Record(EvCorrection, k, float64(staleness))
+}
+
+// OmegaSet records grid k's current damping factor (stored in
+// milli-units so the integer gauge keeps three decimals).
+func (o *Observer) OmegaSet(k int, omega float64) {
+	if o == nil {
+		return
+	}
+	o.Omega.Set(k, int64(omega*1000))
+}
+
+// DampTightened records one controller tighten of grid k's ω (newOmega
+// is the factor after the move).
+func (o *Observer) DampTightened(k int, newOmega float64) {
+	if o == nil {
+		return
+	}
+	o.DampTightens.Inc(k)
+	o.Omega.Set(k, int64(newOmega*1000))
+	o.Trace.Record(EvDamp, k, newOmega)
+}
+
+// DampRelaxed records one controller relax of grid k's ω back toward 1.
+func (o *Observer) DampRelaxed(k int, newOmega float64) {
+	if o == nil {
+		return
+	}
+	o.DampRelaxes.Inc(k)
+	o.Omega.Set(k, int64(newOmega*1000))
+	o.Trace.Record(EvDamp, k, newOmega)
+}
+
+// RolledBack records one rollback-last iterate discard (value is the
+// residual measure that triggered it, for the timeline).
+func (o *Observer) RolledBack(value float64) {
+	if o == nil {
+		return
+	}
+	o.Rollbacks.Inc()
+	o.Trace.Record(EvRollback, -1, value)
 }
 
 // CycleDone records one completed V-cycle with the post-cycle relative

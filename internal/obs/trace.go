@@ -31,6 +31,9 @@ const (
 	// EvIteration marks one Krylov iteration; Value is the relative
 	// residual.
 	EvIteration
+	// EvDamp marks a damping-factor change by the adaptive controller;
+	// Grid is the grid whose ω moved, Value is the new ω.
+	EvDamp
 )
 
 func (k EventKind) String() string {
@@ -49,6 +52,8 @@ func (k EventKind) String() string {
 		return "rollback"
 	case EvIteration:
 		return "iteration"
+	case EvDamp:
+		return "damp"
 	}
 	return "unknown"
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"math"
 	"net/url"
 	"testing"
 )
@@ -20,6 +21,9 @@ func FuzzParseSolveRequest(f *testing.F) {
 	f.Add([]byte(``))
 	f.Add([]byte(`[1,2,3]`))
 	f.Add([]byte(`{"problem":"7pt","size":8,"omega":"NaN"}`))
+	f.Add([]byte(`{"problem":"7pt","size":8,"mode":"async","damping":"auto","damp_rollback":true}`))
+	f.Add([]byte(`{"problem":"7pt","size":8,"mode":"async","damping":"fixed","damp_omega":0.5,"damp_min_omega":0.1}`))
+	f.Add([]byte(`{"problem":"7pt","size":8,"mode":"async","damping":"auto","damp_omega":9e307,"damp_staleness_ref":-4}`))
 	f.Fuzz(func(t *testing.T, body []byte) {
 		sp, err := parseSolveRequest(body)
 		if err != nil {
@@ -27,6 +31,9 @@ func FuzzParseSolveRequest(f *testing.F) {
 				t.Fatal("error with non-nil spec")
 			}
 			return
+		}
+		if err := sp.damping.Validate(); err != nil {
+			t.Fatalf("validated spec has bad damping policy: %v", err)
 		}
 		if sp.cycles < 1 || sp.cycles > maxCycles {
 			t.Fatalf("validated spec has cycles %d", sp.cycles)
@@ -55,6 +62,8 @@ func FuzzSpecFromQuery(f *testing.F) {
 	f.Add("omega=nan")
 	f.Add("cycles=&threads=99999999999999999999")
 	f.Add("no_batch=maybe&return_x=1")
+	f.Add("mode=async&damping=auto&damp_omega=0.8&damp_rollback=true")
+	f.Add("damping=fixed&damp_omega=inf")
 	f.Fuzz(func(t *testing.T, rawQuery string) {
 		q, err := url.ParseQuery(rawQuery)
 		if err != nil {
@@ -63,6 +72,41 @@ func FuzzSpecFromQuery(f *testing.F) {
 		sp, err := specFromQuery(q)
 		if err == nil && sp == nil {
 			t.Fatal("nil spec without error")
+		}
+	})
+}
+
+// FuzzDampingRequest targets the damping-policy corner of the /solve
+// decoder: whatever the policy fields hold, parsing must never panic,
+// and any accepted spec carries a policy async.Solve will accept
+// (Validate passes, mode is async, method is additive) — the decoder is
+// the only thing standing between wire input and the solver's own
+// validation, and the two must agree.
+func FuzzDampingRequest(f *testing.F) {
+	f.Add("auto", 0.8, 0.1, int64(4), true)
+	f.Add("fixed", 0.5, 0.0, int64(0), false)
+	f.Add("off", 0.0, 0.0, int64(0), true)
+	f.Add("AUTO", 1.0, 1.0, int64(1), false)
+	f.Add("adaptive", -0.5, 2.0, int64(-9), true)
+	f.Add("auto", math.NaN(), math.Inf(1), int64(1<<62), false)
+	f.Fuzz(func(t *testing.T, name string, omega, minOmega float64, ref int64, rollback bool) {
+		req := &SolveRequest{
+			Problem: "7pt", Size: 6, Mode: ModeAsync,
+			Damping: name, DampOmega: omega, DampMinOmega: minOmega,
+			DampStalenessRef: ref, DampRollback: rollback,
+		}
+		sp, err := specFromRequest(req)
+		if err != nil {
+			if sp != nil {
+				t.Fatal("error with non-nil spec")
+			}
+			return
+		}
+		if err := sp.damping.Validate(); err != nil {
+			t.Fatalf("decoder accepted a policy the solver rejects: %v", err)
+		}
+		if sp.mode != ModeAsync {
+			t.Fatalf("damped spec has mode %q", sp.mode)
 		}
 	})
 }

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"asyncmg/internal/async"
 	"asyncmg/internal/harness"
 	"asyncmg/internal/mg"
 	"asyncmg/internal/smoother"
@@ -47,6 +48,20 @@ type SolveRequest struct {
 	// default: n floats of JSON per request is rarely what a load test
 	// wants).
 	ReturnX bool `json:"return_x,omitempty"`
+	// Damping selects the correction-damping policy for async-mode
+	// additive solves: "off" (default), "fixed" or "auto".
+	Damping string `json:"damping,omitempty"`
+	// DampOmega is the damping factor: the constant for fixed, the
+	// starting/maximum factor for auto (0 = 1).
+	DampOmega float64 `json:"damp_omega,omitempty"`
+	// DampMinOmega floors the adaptive factor (0 = solver default).
+	DampMinOmega float64 `json:"damp_min_omega,omitempty"`
+	// DampStalenessRef is δ₀, the read age considered fresh (0 = the
+	// number of grids).
+	DampStalenessRef int64 `json:"damp_staleness_ref,omitempty"`
+	// DampRollback arms the rollback-last guard: a diverging solve is
+	// aborted, its iterate discarded and rolled_back set in the reply.
+	DampRollback bool `json:"damp_rollback,omitempty"`
 }
 
 // SolveResponse is the JSON reply of the solve endpoints.
@@ -79,6 +94,15 @@ type SolveResponse struct {
 	// X is the solution vector, present only when the request set
 	// return_x.
 	X []float64 `json:"x,omitempty"`
+	// RolledBack marks an async solve whose iterate the rollback guard
+	// discarded (X is zero, RelRes 1).
+	RolledBack bool `json:"rolled_back,omitempty"`
+	// DampTightens / DampRelaxes count adaptive-damping controller
+	// events across the solve's grids; MinOmega is the smallest final
+	// per-grid factor. Present only when the request enabled damping.
+	DampTightens int64   `json:"damp_tightens,omitempty"`
+	DampRelaxes  int64   `json:"damp_relaxes,omitempty"`
+	MinOmega     float64 `json:"min_omega,omitempty"`
 }
 
 // Solve modes.
@@ -102,6 +126,7 @@ type spec struct {
 	timeout time.Duration
 	noBatch bool
 	returnX bool
+	damping async.DampingPolicy
 }
 
 // Request-shape limits enforced before any work happens. Decoding is the
@@ -200,7 +225,44 @@ func specFromRequest(req *SolveRequest) (*spec, error) {
 		return nil, fmt.Errorf("timeout_ms %d is negative", req.TimeoutMS)
 	}
 	sp.timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	dampMode, err := parseDampMode(req.Damping)
+	if err != nil {
+		return nil, err
+	}
+	sp.damping = async.DampingPolicy{
+		Mode:         dampMode,
+		Omega:        req.DampOmega,
+		MinOmega:     req.DampMinOmega,
+		StalenessRef: req.DampStalenessRef,
+		Rollback:     req.DampRollback,
+	}
+	// Bounds (and NaN/Inf) are rejected even with damping off, so a bad
+	// damp_omega is always a 400 rather than silently ignored knobs.
+	if err := sp.damping.Validate(); err != nil {
+		return nil, err
+	}
+	if dampMode != async.DampOff || req.DampRollback {
+		if sp.mode != ModeAsync {
+			return nil, fmt.Errorf("damping requires mode async, got %q", sp.mode)
+		}
+		if sp.method != mg.Multadd && sp.method != mg.AFACx {
+			return nil, fmt.Errorf("damping applies to the additive methods (multadd, afacx), got %q", methodName(sp.method))
+		}
+	}
 	return sp, nil
+}
+
+// parseDampMode maps the wire name of a damping policy to its mode.
+func parseDampMode(s string) (async.DampMode, error) {
+	switch strings.ToLower(s) {
+	case "", "off", "damp-off":
+		return async.DampOff, nil
+	case "fixed", "damp-fixed":
+		return async.DampFixed, nil
+	case "auto", "damp-auto":
+		return async.DampAuto, nil
+	}
+	return 0, fmt.Errorf("unknown damping policy %q (want off, fixed or auto)", s)
 }
 
 // specFromQuery builds an upload spec from /solve/matrix query parameters
@@ -216,11 +278,17 @@ func specFromQuery(q map[string][]string) (*spec, error) {
 		Method:   get("method"),
 		Smoother: get("smoother"),
 		Mode:     get("mode"),
+		Damping:  get("damping"),
 	}
 	var err error
-	if s := get("omega"); s != "" {
-		if req.Omega, err = strconv.ParseFloat(s, 64); err != nil {
-			return nil, fmt.Errorf("bad omega %q", s)
+	for _, f := range []struct {
+		name string
+		dst  *float64
+	}{{"omega", &req.Omega}, {"damp_omega", &req.DampOmega}, {"damp_min_omega", &req.DampMinOmega}} {
+		if s := get(f.name); s != "" {
+			if *f.dst, err = strconv.ParseFloat(s, 64); err != nil {
+				return nil, fmt.Errorf("bad %s %q", f.name, s)
+			}
 		}
 	}
 	for _, f := range []struct {
@@ -236,6 +304,16 @@ func specFromQuery(q map[string][]string) (*spec, error) {
 	if s := get("seed"); s != "" {
 		if req.Seed, err = strconv.ParseInt(s, 10, 64); err != nil {
 			return nil, fmt.Errorf("bad seed %q", s)
+		}
+	}
+	if s := get("damp_staleness_ref"); s != "" {
+		if req.DampStalenessRef, err = strconv.ParseInt(s, 10, 64); err != nil {
+			return nil, fmt.Errorf("bad damp_staleness_ref %q", s)
+		}
+	}
+	if s := get("damp_rollback"); s != "" {
+		if req.DampRollback, err = strconv.ParseBool(s); err != nil {
+			return nil, fmt.Errorf("bad damp_rollback %q", s)
 		}
 	}
 	if s := get("timeout_ms"); s != "" {

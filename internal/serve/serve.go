@@ -517,6 +517,7 @@ func (s *Server) solveAsync(ctx context.Context, w http.ResponseWriter, r *http.
 		Method:    sp.method,
 		Threads:   sp.threads,
 		MaxCycles: sp.cycles,
+		Damping:   sp.damping,
 		Observer:  s.obs,
 	})
 	if err != nil {
@@ -528,6 +529,17 @@ func (s *Server) solveAsync(ctx context.Context, w http.ResponseWriter, r *http.
 	resp.RelRes = res.RelRes
 	resp.Cycles = sp.cycles
 	resp.Diverged = res.Diverged
+	resp.RolledBack = res.RolledBack
+	if sp.damping.Mode != async.DampOff {
+		resp.DampTightens = res.DampTightens
+		resp.DampRelaxes = res.DampRelaxes
+		resp.MinOmega = 1
+		for _, w := range res.FinalOmega {
+			if w < resp.MinOmega {
+				resp.MinOmega = w
+			}
+		}
+	}
 	if sp.returnX {
 		resp.X = res.X
 	}

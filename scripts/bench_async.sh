@@ -1,0 +1,9 @@
+#!/bin/sh
+# Regenerate BENCH_async.json, the asynchronous stability-map baseline
+# enforced by CI: benchguard -async fails the build when a (scenario,
+# policy) cell's outcome regresses below it, or when fewer than three
+# scenarios that roll back undamped are rescued by the adaptive policy.
+set -eu
+cd "$(dirname "$0")/.."
+go run ./cmd/mgsim -staleness -out BENCH_async.json
+go run ./scripts/benchguard -async BENCH_async.json

@@ -44,6 +44,16 @@
 //
 //	go test -run '^$' -bench 'StencilApply|MixedPrecisionCycle' -benchtime 100x . | \
 //	    go run ./scripts/benchguard -stencil
+//
+// A fifth mode guards the asynchronous stability map: `-async` reads a
+// stability map written by `mgsim -staleness -out` and enforces the
+// adaptive-damping invariants against the checked-in BENCH_async.json
+// baseline — at least -min-rescued scenarios that roll back undamped
+// converge under the adaptive policy, and no (scenario, policy) cell's
+// outcome rank regresses below the baseline's:
+//
+//	go run ./cmd/mgsim -staleness -out /tmp/stability.json
+//	go run ./scripts/benchguard -async /tmp/stability.json
 package main
 
 import (
@@ -57,6 +67,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"asyncmg/internal/harness"
 )
 
 type entry struct {
@@ -83,6 +95,9 @@ func main() {
 	serveFile := flag.String("serve", "", "check a BENCH_serve.json written by mgserve -loadgen")
 	clusterFile := flag.String("cluster", "", "check a BENCH_cluster.json written by mgserve -cluster-loadgen")
 	stencil := flag.Bool("stencil", false, "check StencilApply/MixedPrecisionCycle bench output on stdin")
+	asyncFile := flag.String("async", "", "check a stability map written by mgsim -staleness -out")
+	asyncBase := flag.String("async-baseline", "BENCH_async.json", "baseline stability map for -async")
+	minRescued := flag.Int("min-rescued", 3, "minimum scenarios rescued by adaptive damping (-async only)")
 	minStencil := flag.Float64("min-stencil-speedup", 2.0, "minimum 7pt stencil-vs-CSR apply speedup (-stencil only)")
 	min27 := flag.Float64("min-stencil27-speedup", 1.2, "minimum 27pt stencil-vs-CSR apply speedup (-stencil only)")
 	minSpeedup := flag.Float64("min-speedup", 1.05, "minimum batch-vs-sequential solve speedup (-serve only)")
@@ -92,7 +107,7 @@ func main() {
 	comment := flag.String("comment", defaultComment, "comment stored in the baseline (-write only)")
 	flag.Parse()
 	set := 0
-	for _, f := range []string{*write, *base, *serveFile, *clusterFile} {
+	for _, f := range []string{*write, *base, *serveFile, *clusterFile, *asyncFile} {
 		if f != "" {
 			set++
 		}
@@ -101,8 +116,15 @@ func main() {
 		set++
 	}
 	if set != 1 {
-		fmt.Fprintln(os.Stderr, "benchguard: exactly one of -write, -baseline, -serve, -cluster or -stencil is required")
+		fmt.Fprintln(os.Stderr, "benchguard: exactly one of -write, -baseline, -serve, -cluster, -stencil or -async is required")
 		os.Exit(2)
+	}
+	if *asyncFile != "" {
+		if err := checkAsync(*asyncFile, *asyncBase, *minRescued); err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *stencil {
 		if err := checkStencil(bufio.NewScanner(os.Stdin), *minStencil, *min27); err != nil {
@@ -322,6 +344,72 @@ func checkCluster(path string, minHitRate float64) error {
 	}
 	fmt.Printf("benchguard: ok   cluster: %d nodes RF=%d, %d failed, restart hit rate %.2f, %d hedge wins, %d rebuilds, %d warms\n",
 		b.Nodes, b.Replicas, b.FailedTotal, b.RestartHitRate, b.HedgeWins, b.RingRebuilds, b.ReplicaWarms)
+	return nil
+}
+
+// readStability loads a stability map written by mgsim -staleness -out
+// (and checked in as BENCH_async.json).
+func readStability(path string) (*harness.StabilityMap, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m harness.StabilityMap
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(m.Cells) == 0 {
+		return nil, fmt.Errorf("%s: stability map has no cells", path)
+	}
+	return &m, nil
+}
+
+// checkAsync enforces the asynchronous stability invariants: the current
+// sweep must rescue at least minRescued scenarios (rolled back at ω = 1,
+// stable under the adaptive policy), and against the checked-in baseline
+// no (scenario, policy) cell's outcome rank may drop — a cell that
+// converged or stabilised yesterday must not stall or roll back today.
+// Outcomes, not residuals, are compared: asynchronous residuals wobble
+// run to run, but the classification is the contract.
+func checkAsync(path, basePath string, minRescued int) error {
+	cur, err := readStability(path)
+	if err != nil {
+		return err
+	}
+	base, err := readStability(basePath)
+	if err != nil {
+		return err
+	}
+	var fails []string
+	checkf := func(ok bool, format string, args ...any) {
+		if !ok {
+			fails = append(fails, fmt.Sprintf(format, args...))
+		}
+	}
+	checkf(cur.Rescued() >= minRescued,
+		"adaptive damping rescued %d rolled-back scenarios, want >= %d", cur.Rescued(), minRescued)
+	for i := range base.Cells {
+		b := &base.Cells[i]
+		c := cur.Cell(b.Scenario, b.Policy)
+		if c == nil {
+			checkf(false, "cell %s/%s missing from the current map", b.Scenario, b.Policy)
+			continue
+		}
+		checkf(harness.OutcomeRank(c.Outcome) >= harness.OutcomeRank(b.Outcome),
+			"cell %s/%s regressed: %s, baseline %s", b.Scenario, b.Policy, c.Outcome, b.Outcome)
+		if b.Policy == harness.PolicyAuto && b.Outcome != harness.OutcomeRolledBack {
+			checkf(c.MinOmega > 0 && c.MinOmega <= 1,
+				"cell %s/%s: min ω %v out of (0, 1]", b.Scenario, b.Policy, c.MinOmega)
+		}
+	}
+	if len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Printf("benchguard: FAIL %s\n", f)
+		}
+		return fmt.Errorf("%d async stability invariant(s) violated", len(fails))
+	}
+	fmt.Printf("benchguard: ok   async: %d cells, %d scenarios rescued by adaptive damping (floor %d), no outcome regressions\n",
+		len(cur.Cells), cur.Rescued(), minRescued)
 	return nil
 }
 
