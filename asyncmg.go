@@ -191,6 +191,47 @@ func BuildHierarchyWithStats(a *Matrix, opt AMGOptions) (*Hierarchy, *SetupStats
 	return amg.BuildWithStats(a, opt)
 }
 
+// ---- Coarse-operator sparsification ----
+
+// SparsifyOptions configures post-RAP sparsification of interior coarse
+// operators (AMGOptions.Sparsify): entries weak under the classical
+// strength measure at Theta — as seen from both endpoint rows — are
+// dropped with compensation, and a per-level convergence guard reverts
+// any level whose removal degrades a deterministic probe cycle beyond
+// GuardTol. The zero value disables sparsification.
+type SparsifyOptions = amg.SparsifyOptions
+
+// SparsifyMode selects how dropped mass is compensated.
+type SparsifyMode = sparse.SparsifyMode
+
+// The compensation modes: lumping onto the diagonal (preserves row sums
+// and symmetry), rescaling the kept off-diagonals (row sums only), or
+// uncompensated dropping (experiments only).
+const (
+	SparsifyLump     = sparse.SparsifyLump
+	SparsifyRescale  = sparse.SparsifyRescale
+	SparsifyDropOnly = sparse.SparsifyDropOnly
+)
+
+// SparsifyLevelStat records one level's sparsification outcome in
+// SetupStats (nnz before/after, skip and guard-revert flags).
+type SparsifyLevelStat = amg.SparsifyLevelStat
+
+// SparsifyStrength returns a sparsified copy of a: off-diagonal entries
+// weak under the strength measure at threshold theta in both endpoint
+// rows are dropped and compensated per mode. Sharded over the worker
+// pool, bitwise-identical to the serial result at any worker count.
+func SparsifyStrength(a *Matrix, theta float64, mode SparsifyMode) *Matrix {
+	return sparse.SparsifyStrength(a, theta, mode)
+}
+
+// SparsifyStrengthInto is SparsifyStrength writing into dst, reusing its
+// buffers when capacities suffice — zero steady-state allocations on a
+// warm destination.
+func SparsifyStrengthInto(dst, a *Matrix, theta float64, mode SparsifyMode) {
+	sparse.SparsifyStrengthInto(dst, a, theta, mode)
+}
+
 // ---- Smoothers ----
 
 // SmootherKind identifies one of the four smoothers of the paper.

@@ -342,6 +342,30 @@ func BenchmarkKernelSpMV27pt(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelSparsify measures the strength-aware sparsification
+// kernel on the densified 27-point coarse-operator workload, one
+// sub-benchmark per compensation mode. The kernel's contract is 0
+// allocs/op on a warm destination (benchguard -sparsify also enforces it
+// via the measurement embedded in BENCH_sparsify.json).
+func BenchmarkKernelSparsify(b *testing.B) {
+	a, err := asyncmg.BuildProblem("27pt", 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []asyncmg.SparsifyMode{asyncmg.SparsifyLump, asyncmg.SparsifyRescale, asyncmg.SparsifyDropOnly} {
+		b.Run(mode.String(), func(b *testing.B) {
+			dst := &asyncmg.Matrix{}
+			asyncmg.SparsifyStrengthInto(dst, a, 0.25, mode) // warm the destination buffers
+			b.SetBytes(int64(a.NNZ() * 12))                  // 8B value + 4B index scanned per entry
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				asyncmg.SparsifyStrengthInto(dst, a, 0.25, mode)
+			}
+		})
+	}
+}
+
 func BenchmarkKernelAMGSetup(b *testing.B) {
 	for _, problem := range []string{"7pt", "27pt"} {
 		b.Run(problem, func(b *testing.B) {

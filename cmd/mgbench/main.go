@@ -12,6 +12,7 @@
 //	mgbench -fig 5                         # mfem-laplace series
 //	mgbench -fig 6 -threads-list 4,8,16,32
 //	mgbench -setup -par-workers 8          # AMG setup-phase timing, serial vs parallel
+//	mgbench -sparsify -out BENCH_sparsify.json  # coarse-operator sparsification table
 package main
 
 import (
@@ -40,6 +41,10 @@ func main() {
 	fig := flag.Int("fig", 0, "figure to regenerate (4, 5 or 6)")
 	setup := flag.Bool("setup", false, "print the AMG setup-phase timing breakdown (serial vs parallel)")
 	stencil := flag.Bool("stencil", false, "print the matrix-free stencil vs CSR comparison (SpMV throughput, hierarchy bytes, rows/GB)")
+	sparsify := flag.Bool("sparsify", false, "print the coarse-stencil-growth table (nnz/row per level before/after sparsification, iteration and cycle-time deltas)")
+	sparsifyTheta := flag.Float64("sparsify-theta", 0, "sparsification drop threshold for -sparsify (0 = default 0.25)")
+	sparsifyMode := flag.String("sparsify-mode", "", "sparsification compensation mode for -sparsify: lump, rescale or drop (default lump)")
+	out := flag.String("out", "", "with -sparsify, also write the machine-readable report (BENCH_sparsify.json) to this file")
 	all := flag.Bool("all", false, "regenerate Table I and Figures 4-6 in sequence")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	problem := flag.String("problem", "", "restrict to one problem family")
@@ -57,7 +62,7 @@ func main() {
 	par.SetWorkers(*parWorkers)
 	par.SetThreshold(*parThreshold)
 
-	if *table == 0 && *fig == 0 && !*all && !*setup && !*stencil {
+	if *table == 0 && *fig == 0 && !*all && !*setup && !*stencil && !*sparsify {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -97,6 +102,31 @@ func main() {
 		}
 	}
 	defer finish()
+
+	if *sparsify {
+		cfg := harness.DefaultSparsifyBench()
+		if *problem != "" {
+			cfg.Problems = []string{*problem}
+		}
+		if *size > 0 {
+			cfg.Size = *size
+		}
+		if *runs > 0 {
+			cfg.Reps = *runs
+		}
+		cfg.Theta = *sparsifyTheta
+		cfg.Mode = *sparsifyMode
+		rep, err := harness.SparsifyBench(os.Stdout, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *out != "" {
+			if err := harness.WriteSparsifyReport(*out, rep); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return
+	}
 
 	if *stencil {
 		cfg := harness.DefaultStencilBench()

@@ -55,6 +55,7 @@ import (
 	"asyncmg/internal/op"
 	"asyncmg/internal/par"
 	"asyncmg/internal/serve"
+	"asyncmg/internal/sparse"
 )
 
 func main() {
@@ -71,6 +72,9 @@ func main() {
 	parWorkers := flag.Int("par-workers", 0, "worker-pool size for sharded kernels (0 = GOMAXPROCS)")
 	matrixFree := flag.Bool("matrix-free", false, "build structured stencil problems (7pt, 27pt) matrix-free: the fine level is never materialized as CSR")
 	f32Coarse := flag.Bool("f32-coarse", false, "store coarse operators and interpolants in float32 (shrinks cached hierarchies)")
+	sparsify := flag.Bool("sparsify", false, "sparsify coarse operators after RAP (shrinks cached hierarchies and per-cycle work; guarded per level)")
+	sparsifyTheta := flag.Float64("sparsify-theta", 0.25, "drop threshold for -sparsify")
+	sparsifyMode := flag.String("sparsify-mode", "lump", "compensation mode for -sparsify: lump, rescale, drop")
 
 	clusterMode := flag.Bool("cluster", false, "serve the routing tier instead of a node (requires -peers)")
 	peers := flag.String("peers", "", "cluster: comma-separated peer node addresses (host:port)")
@@ -102,9 +106,18 @@ func main() {
 		Observer:    o,
 		MatrixFree:  *matrixFree,
 	}
-	if *f32Coarse {
+	if *f32Coarse || *sparsify {
 		opt := amg.DefaultOptions()
-		opt.CoarsePrecision = op.CoarseFloat32
+		if *f32Coarse {
+			opt.CoarsePrecision = op.CoarseFloat32
+		}
+		if *sparsify {
+			mode, err := sparse.ParseSparsifyMode(*sparsifyMode)
+			if err != nil {
+				log.Fatal(err)
+			}
+			opt.Sparsify = amg.SparsifyOptions{Theta: *sparsifyTheta, Mode: mode}
+		}
 		cfg.AMG = &opt
 	}
 

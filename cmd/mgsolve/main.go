@@ -44,6 +44,9 @@ func main() {
 	aggressive := flag.Int("aggressive", 1, "aggressive coarsening levels")
 	matrixFree := flag.Bool("matrix-free", false, "apply the fine level from the stencil without materializing CSR (7pt/27pt only)")
 	f32Coarse := flag.Bool("f32-coarse", false, "store coarse operators and interpolants in float32")
+	sparsify := flag.Bool("sparsify", false, "sparsify coarse operators after RAP (strength-aware dropping with the per-level convergence guard)")
+	sparsifyTheta := flag.Float64("sparsify-theta", 0.25, "drop threshold for -sparsify")
+	sparsifyMode := flag.String("sparsify-mode", "lump", "compensation mode for -sparsify: lump, rescale, drop")
 	runAsync := flag.Bool("async", false, "run the asynchronous parallel solver instead of the sequential one")
 	threads := flag.Int("threads", 8, "goroutines for -async")
 	writeMode := flag.String("write", "atomic", "async write mode: lock, atomic")
@@ -125,6 +128,13 @@ func main() {
 	if *f32Coarse {
 		opt.CoarsePrecision = op.CoarseFloat32
 	}
+	if *sparsify {
+		mode, err := sparse.ParseSparsifyMode(*sparsifyMode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt.Sparsify = amg.SparsifyOptions{Theta: *sparsifyTheta, Mode: mode}
+	}
 	if *problem == harness.ProblemElasticity && *matrix == "" {
 		opt.NumFunctions = 3 // unknown approach for the vector problem
 	}
@@ -140,6 +150,10 @@ func main() {
 	}
 	fmt.Printf("hierarchy: %d levels, sizes %v, operator complexity %.2f, %d bytes resident\n",
 		setup.NumLevels(), setup.H.GridSizes(), setup.H.OperatorComplexity(), setup.HierarchyBytes())
+	if st := setup.Setup; st != nil && len(st.SparsifyLevels) > 0 {
+		fmt.Printf("sparsify: %d coarse nnz dropped across %d levels (%d guard fallbacks, %v)\n",
+			st.DroppedNNZ(), len(st.SparsifyLevels), st.SparsifyFallbacks, st.Sparsify)
+	}
 
 	m, err := parseMethod(*method)
 	if err != nil {

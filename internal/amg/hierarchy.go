@@ -49,6 +49,11 @@ type Options struct {
 	// float64 accumulation). The setup itself always runs in float64 —
 	// the engine performs the conversion after building its cached view.
 	CoarsePrecision op.Precision
+	// Sparsify enables post-RAP sparsification of interior coarse
+	// operators (with the per-level convergence guard). The zero value
+	// disables it, keeping the hierarchy bitwise-identical to previous
+	// builds.
+	Sparsify SparsifyOptions
 }
 
 // DefaultOptions mirrors the paper's BoomerAMG configuration: HMIS
@@ -159,12 +164,25 @@ type SetupStats struct {
 	Coarsen time.Duration
 	// Interp covers interpolation assembly including truncation.
 	Interp time.Duration
-	// RAP covers the cached P transpose plus the Galerkin triple product.
+	// Transpose covers building the cached Pᵀ per level (previously
+	// lumped into RAP).
+	Transpose time.Duration
+	// RAP covers the Galerkin triple product (and, on a matrix-free fine
+	// level, the geometric first coarsening that produces A₁).
 	RAP time.Duration
 	// Factor covers the dense LU factorization of the coarsest operator.
 	Factor time.Duration
+	// Sparsify covers coarse-operator sparsification including the
+	// convergence-guard probes; zero when sparsification is disabled.
+	Sparsify time.Duration
 	// Levels is the hierarchy depth produced.
 	Levels int
+	// SparsifyLevels records per-level sparsification outcomes (nnz
+	// before/after, skip/revert); empty when sparsification is disabled.
+	SparsifyLevels []SparsifyLevelStat
+	// SparsifyFallbacks counts levels the convergence guard reverted to
+	// their unsparsified operators.
+	SparsifyFallbacks int
 }
 
 // Build runs the AMG setup phase on the fine-grid matrix a.
@@ -234,6 +252,8 @@ func BuildWithStats(a *sparse.CSR, opt Options) (*Hierarchy, *SetupStats, error)
 		// by the engine's restriction view (which used to recompute it).
 		t0 = time.Now()
 		pt := p.Transpose()
+		st.Transpose += time.Since(t0)
+		t0 = time.Now()
 		next := sparse.RAPWith(cur, p, pt)
 		st.RAP += time.Since(t0)
 		h.Levels = append(h.Levels, Level{A: cur, P: p, PT: pt, Types: types})
@@ -249,6 +269,9 @@ func BuildWithStats(a *sparse.CSR, opt Options) (*Hierarchy, *SetupStats, error)
 		}
 		cur = next
 	}
+	// Sparsify interior coarse operators (and run the convergence guard)
+	// before factoring, so the factored/viewed chain is the guarded one.
+	sparsifyHierarchy(h, opt.Sparsify, st)
 	// Factor the coarsest operator for exact solves.
 	t0 := time.Now()
 	lu, err := dense.Factor(h.Levels[len(h.Levels)-1].A)

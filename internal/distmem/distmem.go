@@ -426,6 +426,18 @@ func Solve(ctx context.Context, s *mg.Setup, b []float64, cfg Config) (*Result, 
 
 		case m := <-tr.Up():
 			c := m.Payload.(correction)
+			if o != nil {
+				// Message volume: every arriving correction carried its
+				// payload over the transport, discarded or not. The nonzero
+				// count is what coarse-operator sparsification shrinks.
+				nnz := int64(0)
+				for _, v := range c.c {
+					if v != 0 {
+						nnz++
+					}
+				}
+				o.CorrectionPayload(c.grid, nnz)
+			}
 			if retired[c.grid] || counts[c.grid] >= maxCorr || c.it != counts[c.grid] {
 				res.Discarded++
 				if o != nil {

@@ -8,6 +8,7 @@ import (
 	"asyncmg/internal/amg"
 	"asyncmg/internal/grid"
 	"asyncmg/internal/mg"
+	"asyncmg/internal/obs"
 	"asyncmg/internal/smoother"
 )
 
@@ -192,5 +193,32 @@ func TestMaxLeadOneIsNearLockstep(t *testing.T) {
 	}
 	if res.Diverged || res.RelRes > 1e-4 {
 		t.Errorf("lockstep-ish run relres %g", res.RelRes)
+	}
+}
+
+// TestCorrectionPayloadCounters checks the message-volume instrumentation:
+// every correction arriving at the owner adds its nonzero payload to the
+// per-grid distmem_sent_nnz_total counters.
+func TestCorrectionPayloadCounters(t *testing.T) {
+	s := buildSetup(t, 8)
+	b := grid.RandomRHS(s.LevelSize(0), 3)
+	o := obs.New(s.NumLevels())
+	res, err := Solve(context.Background(), s, b, Config{
+		Method: mg.Multadd, MaxCorrections: 10, Observer: o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent := o.SentNNZ.Snapshot(nil)
+	for k := 0; k < s.NumLevels(); k++ {
+		if res.Corrections[k] > 0 && sent[k] == 0 {
+			t.Errorf("grid %d applied %d corrections but sent-nnz counter is 0", k, res.Corrections[k])
+		}
+		// A dense correction payload is bounded by grid size times the
+		// messages that arrived (applies plus discards).
+		max := int64(s.LevelSize(0)) * int64(res.Corrections[k]+res.Discarded)
+		if sent[k] > max {
+			t.Errorf("grid %d sent nnz %d exceeds payload bound %d", k, sent[k], max)
+		}
 	}
 }

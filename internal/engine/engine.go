@@ -119,7 +119,16 @@ type Engine struct {
 func (s *Engine) SetObserver(o *obs.Observer) {
 	s.obs = o
 	if st := s.Setup; st != nil {
-		o.SetupDone(st.Total, st.Strength, st.Coarsen, st.Interp, st.RAP, st.Factor)
+		o.SetupDone(st.Total, st.Strength, st.Coarsen, st.Interp, st.Transpose, st.RAP, st.Factor, st.Sparsify)
+		if len(st.SparsifyLevels) > 0 {
+			kept := 0
+			for _, l := range st.SparsifyLevels {
+				if !l.Skipped && !l.Reverted {
+					kept++
+				}
+			}
+			o.Sparsified(int64(kept), int64(st.DroppedNNZ()), int64(st.SparsifyFallbacks))
+		}
 	}
 }
 

@@ -47,13 +47,14 @@ func timedSetup(problem string, size, agg int, o *obs.Observer) (time.Duration, 
 	if err != nil {
 		return 0, nil, err
 	}
-	o.SetupDone(st.Total, st.Strength, st.Coarsen, st.Interp, st.RAP, st.Factor)
+	o.SetupDone(st.Total, st.Strength, st.Coarsen, st.Interp, st.Transpose, st.RAP, st.Factor, st.Sparsify)
 	return asm, st, nil
 }
 
 // SetupBreakdown prints the setup-phase timing table: for each problem,
-// the stencil/FEM assembly time and the strength/coarsen/interp/RAP/
-// factor breakdown of the AMG build, measured serially (one worker) and
+// the stencil/FEM assembly time and the strength/coarsen/interp/
+// transpose/RAP/factor breakdown of the AMG build, measured serially
+// (one worker) and
 // with the sharded kernels (cfg.Workers), plus the end-to-end speedup.
 // The parallel and serial hierarchies are bitwise-identical (enforced by
 // the setup determinism tests), so the table compares equal work.
@@ -68,8 +69,8 @@ func SetupBreakdown(w io.Writer, cfg SetupBreakdownConfig) error {
 	}
 	fmt.Fprintf(w, "# Setup breakdown (size=%d, agg=%d): wall time in ms, serial vs %d workers\n",
 		cfg.Size, cfg.Agg, workers)
-	fmt.Fprintf(w, "%-14s %-8s %9s %9s %9s %9s %9s %9s %9s %7s %8s\n",
-		"problem", "mode", "assemble", "strength", "coarsen", "interp", "rap", "factor", "total", "levels", "speedup")
+	fmt.Fprintf(w, "%-14s %-8s %9s %9s %9s %9s %9s %9s %9s %9s %7s %8s\n",
+		"problem", "mode", "assemble", "strength", "coarsen", "interp", "transpose", "rap", "factor", "total", "levels", "speedup")
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	for _, problem := range cfg.Problems {
 		par.SetWorkers(1)
@@ -82,13 +83,13 @@ func SetupBreakdown(w io.Writer, cfg SetupBreakdownConfig) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%-14s %-8s %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f %7d %8s\n",
+		fmt.Fprintf(w, "%-14s %-8s %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f %7d %8s\n",
 			problem, "serial", ms(asmS), ms(stS.Strength), ms(stS.Coarsen),
-			ms(stS.Interp), ms(stS.RAP), ms(stS.Factor), ms(stS.Total), stS.Levels, "")
+			ms(stS.Interp), ms(stS.Transpose), ms(stS.RAP), ms(stS.Factor), ms(stS.Total), stS.Levels, "")
 		speedup := float64(asmS+stS.Total) / float64(asmP+stP.Total)
-		fmt.Fprintf(w, "%-14s %-8s %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f %7d %7.2fx\n",
+		fmt.Fprintf(w, "%-14s %-8s %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f %7d %7.2fx\n",
 			problem, "parallel", ms(asmP), ms(stP.Strength), ms(stP.Coarsen),
-			ms(stP.Interp), ms(stP.RAP), ms(stP.Factor), ms(stP.Total), stP.Levels, speedup)
+			ms(stP.Interp), ms(stP.Transpose), ms(stP.RAP), ms(stP.Factor), ms(stP.Total), stP.Levels, speedup)
 	}
 	return nil
 }

@@ -57,11 +57,23 @@ type Observer struct {
 
 	// SetupBuilds counts AMG setup phases recorded through SetupDone; the
 	// *NS counters accumulate the per-stage wall time (nanoseconds) of
-	// those setups, matching amg.SetupStats stage for stage.
-	SetupBuilds                   *Counter
-	SetupTotalNS, SetupStrengthNS *Counter
-	SetupCoarsenNS, SetupInterpNS *Counter
-	SetupRAPNS, SetupFactorNS     *Counter
+	// those setups, matching amg.SetupStats stage for stage (the cached
+	// Pᵀ build and the Galerkin triple product are separate stages).
+	SetupBuilds                     *Counter
+	SetupTotalNS, SetupStrengthNS   *Counter
+	SetupCoarsenNS, SetupInterpNS   *Counter
+	SetupTransposeNS, SetupRAPNS    *Counter
+	SetupFactorNS, SetupSparsifyNS  *Counter
+	// Sparsification-guard outcomes recorded through Sparsified: levels
+	// that kept a sparsified operator, total nonzeros dropped from coarse
+	// operators, and levels the convergence guard reverted.
+	SparsifyLevels, SparsifyDropped *Counter
+	SparsifyFallbacks               *Counter
+
+	// SentNNZ accumulates, per grid, the nonzero payload volume of
+	// correction messages the distmem workers sent to the owner — the
+	// message-volume signal coarse-operator sparsification shrinks.
+	SentNNZ *GridCounters
 
 	// Serving counters of the solver service (package serve): hierarchy
 	// setup-cache traffic, batched multi-RHS solve sizes, admission-queue
@@ -127,8 +139,14 @@ func New(grids int) *Observer {
 		SetupStrengthNS:     r.NewCounter("setup_strength_ns_total"),
 		SetupCoarsenNS:      r.NewCounter("setup_coarsen_ns_total"),
 		SetupInterpNS:       r.NewCounter("setup_interp_ns_total"),
+		SetupTransposeNS:    r.NewCounter("setup_transpose_ns_total"),
 		SetupRAPNS:          r.NewCounter("setup_rap_ns_total"),
 		SetupFactorNS:       r.NewCounter("setup_factor_ns_total"),
+		SetupSparsifyNS:     r.NewCounter("setup_sparsify_ns_total"),
+		SparsifyLevels:      r.NewCounter("sparsify_levels_total"),
+		SparsifyDropped:     r.NewCounter("sparsify_dropped_nnz_total"),
+		SparsifyFallbacks:   r.NewCounter("sparsify_fallbacks_total"),
+		SentNNZ:             r.NewGridCounters("distmem_sent_nnz_total", grids),
 		CacheHits:           r.NewCounter("serve_cache_hits_total"),
 		CacheMisses:         r.NewCounter("serve_cache_misses_total"),
 		CacheEvictions:      r.NewCounter("serve_cache_evictions_total"),
@@ -263,7 +281,7 @@ func (o *Observer) IterationDone(relres float64) {
 // SetupDone records one completed AMG setup phase with its per-stage
 // wall times (the amg.SetupStats breakdown; pass zero for stages that
 // did not run). Nil-safe like every recording method.
-func (o *Observer) SetupDone(total, strength, coarsen, interp, rap, factor time.Duration) {
+func (o *Observer) SetupDone(total, strength, coarsen, interp, transpose, rap, factor, sparsify time.Duration) {
 	if o == nil {
 		return
 	}
@@ -272,8 +290,31 @@ func (o *Observer) SetupDone(total, strength, coarsen, interp, rap, factor time.
 	o.SetupStrengthNS.Add(int64(strength))
 	o.SetupCoarsenNS.Add(int64(coarsen))
 	o.SetupInterpNS.Add(int64(interp))
+	o.SetupTransposeNS.Add(int64(transpose))
 	o.SetupRAPNS.Add(int64(rap))
 	o.SetupFactorNS.Add(int64(factor))
+	o.SetupSparsifyNS.Add(int64(sparsify))
+}
+
+// Sparsified records the outcome of one setup's coarse-operator
+// sparsification: levels that kept their sparsified operator, total
+// nonzeros dropped, and levels the convergence guard reverted. Nil-safe.
+func (o *Observer) Sparsified(levels, droppedNNZ, fallbacks int64) {
+	if o == nil {
+		return
+	}
+	o.SparsifyLevels.Add(levels)
+	o.SparsifyDropped.Add(droppedNNZ)
+	o.SparsifyFallbacks.Add(fallbacks)
+}
+
+// CorrectionPayload records the nonzero payload volume of one correction
+// message for grid k arriving at the distmem owner. Nil-safe.
+func (o *Observer) CorrectionPayload(k int, nnz int64) {
+	if o == nil {
+		return
+	}
+	o.SentNNZ.Add(k, nnz)
 }
 
 // TraceEvent records an arbitrary event on the timeline (no counter).

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Regenerate BENCH_sparsify.json, the coarse-operator sparsification
+# report enforced by CI: benchguard -sparsify fails the build when the
+# total coarse-nnz reduction drops below 25%, any problem needs more
+# than one extra iteration over the golden run, the guard reverts every
+# candidate level, or the kernel loses its 0 allocs/op contract.
+set -eu
+cd "$(dirname "$0")/.."
+go run ./cmd/mgbench -sparsify -out BENCH_sparsify.json
+go run ./scripts/benchguard -sparsify BENCH_sparsify.json

@@ -54,6 +54,18 @@
 //
 //	go run ./cmd/mgsim -staleness -out /tmp/stability.json
 //	go run ./scripts/benchguard -async /tmp/stability.json
+//
+// A sixth mode guards coarse-operator sparsification: `-sparsify` reads
+// a BENCH_sparsify.json written by `mgbench -sparsify -out` and enforces
+// the structural invariants — total coarse-level nnz reduced by at least
+// -min-reduction, no problem's iteration count to tolerance more than
+// -max-extra-iters above the unsparsified golden run (a fully guarded
+// problem whose levels all reverted passes trivially: reverting is the
+// guard working, not a regression), and the sparsification kernel
+// holding its 0 allocs/op steady-state contract:
+//
+//	go run ./cmd/mgbench -sparsify -out BENCH_sparsify.json
+//	go run ./scripts/benchguard -sparsify BENCH_sparsify.json
 package main
 
 import (
@@ -96,6 +108,9 @@ func main() {
 	clusterFile := flag.String("cluster", "", "check a BENCH_cluster.json written by mgserve -cluster-loadgen")
 	stencil := flag.Bool("stencil", false, "check StencilApply/MixedPrecisionCycle bench output on stdin")
 	asyncFile := flag.String("async", "", "check a stability map written by mgsim -staleness -out")
+	sparsifyFile := flag.String("sparsify", "", "check a BENCH_sparsify.json written by mgbench -sparsify -out")
+	minReduction := flag.Float64("min-reduction", 0.25, "minimum total coarse-nnz reduction (-sparsify only)")
+	maxExtraIters := flag.Int("max-extra-iters", 1, "maximum iterations over the golden run (-sparsify only)")
 	asyncBase := flag.String("async-baseline", "BENCH_async.json", "baseline stability map for -async")
 	minRescued := flag.Int("min-rescued", 3, "minimum scenarios rescued by adaptive damping (-async only)")
 	minStencil := flag.Float64("min-stencil-speedup", 2.0, "minimum 7pt stencil-vs-CSR apply speedup (-stencil only)")
@@ -107,7 +122,7 @@ func main() {
 	comment := flag.String("comment", defaultComment, "comment stored in the baseline (-write only)")
 	flag.Parse()
 	set := 0
-	for _, f := range []string{*write, *base, *serveFile, *clusterFile, *asyncFile} {
+	for _, f := range []string{*write, *base, *serveFile, *clusterFile, *asyncFile, *sparsifyFile} {
 		if f != "" {
 			set++
 		}
@@ -116,8 +131,15 @@ func main() {
 		set++
 	}
 	if set != 1 {
-		fmt.Fprintln(os.Stderr, "benchguard: exactly one of -write, -baseline, -serve, -cluster, -stencil or -async is required")
+		fmt.Fprintln(os.Stderr, "benchguard: exactly one of -write, -baseline, -serve, -cluster, -stencil, -async or -sparsify is required")
 		os.Exit(2)
+	}
+	if *sparsifyFile != "" {
+		if err := checkSparsify(*sparsifyFile, *minReduction, *maxExtraIters); err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *asyncFile != "" {
 		if err := checkAsync(*asyncFile, *asyncBase, *minRescued); err != nil {
@@ -410,6 +432,49 @@ func checkAsync(path, basePath string, minRescued int) error {
 	}
 	fmt.Printf("benchguard: ok   async: %d cells, %d scenarios rescued by adaptive damping (floor %d), no outcome regressions\n",
 		len(cur.Cells), cur.Rescued(), minRescued)
+	return nil
+}
+
+// checkSparsify enforces the coarse-operator sparsification invariants on
+// a BENCH_sparsify.json report. All structural, none timing-based: the
+// nnz reduction, the iteration-count ceiling, and the kernel's allocation
+// contract hold on any machine. Cycle times are recorded in the report
+// for reference but never enforced.
+func checkSparsify(path string, minReduction float64, maxExtraIters int) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep harness.SparsifyReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	var fails []string
+	checkf := func(ok bool, format string, args ...any) {
+		if !ok {
+			fails = append(fails, fmt.Sprintf(format, args...))
+		}
+	}
+	checkf(len(rep.Problems) > 0, "report has no problems")
+	checkf(rep.TotalCoarseNNZBefore > 0, "report has no coarse levels (total_coarse_nnz_before = 0)")
+	checkf(rep.TotalReduction >= minReduction,
+		"total coarse-nnz reduction %.1f%% below the %.0f%% floor", 100*rep.TotalReduction, 100*minReduction)
+	checkf(rep.KernelAllocsPerOp == 0,
+		"sparsification kernel allocates %.0f allocs/op steady-state, want 0", rep.KernelAllocsPerOp)
+	for _, p := range rep.Problems {
+		checkf(p.ItersSparsified <= p.ItersGolden+maxExtraIters,
+			"%s: sparsified run took %d iterations, golden %d (limit +%d)",
+			p.Problem, p.ItersSparsified, p.ItersGolden, maxExtraIters)
+	}
+	if len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Printf("benchguard: FAIL %s\n", f)
+		}
+		return fmt.Errorf("%d sparsify invariant(s) violated", len(fails))
+	}
+	fmt.Printf("benchguard: ok   sparsify: theta=%.2f mode=%s, coarse nnz %d -> %d (-%.1f%%), %d problems within +%d iters, kernel 0 allocs/op\n",
+		rep.Theta, rep.Mode, rep.TotalCoarseNNZBefore, rep.TotalCoarseNNZAfter,
+		100*rep.TotalReduction, len(rep.Problems), maxExtraIters)
 	return nil
 }
 

@@ -1,5 +1,6 @@
 // Setup-phase benchmarks: wall-clock AMG setup (strength, coarsening,
-// interpolation, Galerkin RAP, coarse factor) for the paper's four test
+// interpolation, Pᵀ transpose, Galerkin RAP, coarse factor) for the
+// paper's four test
 // matrices, serial versus the sharded kernels. These are the benchmarks
 // behind BENCH_setup.json; regenerate it with scripts/bench_setup.sh.
 //
@@ -57,6 +58,7 @@ func benchmarkSetup(b *testing.B, problem string, size, agg, funcs, workers int)
 	b.StopTimer()
 	if st != nil {
 		b.ReportMetric(float64(st.Levels), "levels")
+		b.ReportMetric(float64(st.Transpose.Nanoseconds()), "transpose_ns")
 		b.ReportMetric(float64(st.RAP.Nanoseconds()), "rap_ns")
 	}
 }
