@@ -482,6 +482,35 @@ func NewMGPreconditioner(s *Setup, m Method) *MGPreconditioner {
 	return krylov.NewMGPreconditioner(s, m)
 }
 
+// ErrKrylovBreakdown is returned when PCG meets an indefinite operator or
+// preconditioner, or FGMRES hits a singular projection.
+var ErrKrylovBreakdown = krylov.ErrBreakdown
+
+// SolvePCG runs (preconditioned) conjugate gradients on any Operator —
+// assembled CSR, matrix-free stencil, or float32 view — from x = 0.
+// The operator and preconditioner must be SPD (Mult, Multadd and BPX
+// cycles qualify; AFACx does not).
+func SolvePCG(a Operator, b []float64, opt CGOptions) (CGResult, error) {
+	return krylov.PCG(a, b, opt)
+}
+
+// SolveFGMRES runs flexible GMRES(m) with restarts on any Operator from
+// x = 0. Unlike PCG it tolerates non-symmetric operators and
+// non-SPD/varying preconditioners (AFACx, asynchronous cycles).
+func SolveFGMRES(a Operator, b []float64, opt CGOptions) (CGResult, error) {
+	return krylov.FGMRES(a, b, opt)
+}
+
+// BlockCGResult reports a block multi-RHS PCG solve.
+type BlockCGResult = krylov.BlockResult
+
+// SolveBlockPCG runs k simultaneous multigrid-preconditioned CG solves
+// sharing one block cycle per iteration, bitwise identical to k solo
+// solves. b holds the k right-hand sides column-major (len k*n).
+func SolveBlockPCG(s *Setup, m Method, b []float64, k int, opt CGOptions) (*BlockCGResult, error) {
+	return krylov.BlockPCG(s, m, b, k, opt)
+}
+
 // ---- Distributed-memory simulation ----
 
 // DistConfig parameterizes a distributed-memory asynchronous solve (message

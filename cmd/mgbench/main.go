@@ -13,6 +13,8 @@
 //	mgbench -fig 6 -threads-list 4,8,16,32
 //	mgbench -setup -par-workers 8          # AMG setup-phase timing, serial vs parallel
 //	mgbench -sparsify -out BENCH_sparsify.json  # coarse-operator sparsification table
+//	mgbench -krylov -out BENCH_krylov.json  # AMG-preconditioned Krylov vs plain cycling
+//	mgbench -msgvol                        # distmem message volume, golden vs sparsified
 package main
 
 import (
@@ -44,7 +46,10 @@ func main() {
 	sparsify := flag.Bool("sparsify", false, "print the coarse-stencil-growth table (nnz/row per level before/after sparsification, iteration and cycle-time deltas)")
 	sparsifyTheta := flag.Float64("sparsify-theta", 0, "sparsification drop threshold for -sparsify (0 = default 0.25)")
 	sparsifyMode := flag.String("sparsify-mode", "", "sparsification compensation mode for -sparsify: lump, rescale or drop (default lump)")
-	out := flag.String("out", "", "with -sparsify, also write the machine-readable report (BENCH_sparsify.json) to this file")
+	krylovB := flag.Bool("krylov", false, "print the Krylov-vs-cycling table (PCG iterations vs plain cycling on the paper problems, the conv-diff FGMRES stall row, allocs/solve, block-vs-solo)")
+	msgvol := flag.Bool("msgvol", false, "print the distmem message-volume table (sent-nnz before/after coarse-operator sparsification)")
+	msgvolMethod := flag.String("msgvol-method", "", "additive method for -msgvol: multadd or afacx (default multadd)")
+	out := flag.String("out", "", "with -sparsify or -krylov, also write the machine-readable report (BENCH_sparsify.json / BENCH_krylov.json) to this file")
 	all := flag.Bool("all", false, "regenerate Table I and Figures 4-6 in sequence")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	problem := flag.String("problem", "", "restrict to one problem family")
@@ -62,7 +67,7 @@ func main() {
 	par.SetWorkers(*parWorkers)
 	par.SetThreshold(*parThreshold)
 
-	if *table == 0 && *fig == 0 && !*all && !*setup && !*stencil && !*sparsify {
+	if *table == 0 && *fig == 0 && !*all && !*setup && !*stencil && !*sparsify && !*krylovB && !*msgvol {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -124,6 +129,49 @@ func main() {
 			if err := harness.WriteSparsifyReport(*out, rep); err != nil {
 				log.Fatal(err)
 			}
+		}
+		return
+	}
+
+	if *krylovB {
+		cfg := harness.DefaultKrylovBench()
+		if *problem != "" {
+			cfg.Problems = []string{*problem}
+		}
+		if *size > 0 {
+			cfg.Size = *size
+		}
+		if *tau > 0 {
+			cfg.Tau = *tau
+		}
+		rep, err := harness.KrylovBench(os.Stdout, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *out != "" {
+			if err := harness.WriteKrylovReport(*out, rep); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return
+	}
+
+	if *msgvol {
+		cfg := harness.DefaultMsgVolume()
+		if *problem != "" {
+			cfg.Problem = *problem
+		}
+		if *size > 0 {
+			cfg.Size = *size
+		}
+		if *msgvolMethod != "" {
+			cfg.Method = *msgvolMethod
+		}
+		if *sparsifyTheta > 0 {
+			cfg.Theta = *sparsifyTheta
+		}
+		if _, err := harness.MsgVolume(os.Stdout, cfg); err != nil {
+			log.Fatal(err)
 		}
 		return
 	}

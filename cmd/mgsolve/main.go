@@ -7,6 +7,8 @@
 //	mgsolve -problem 27pt -size 16 -method multadd -smoother async-gs -async -threads 8
 //	mgsolve -problem mfem-laplace -size 12 -method mult -cycles 40
 //	mgsolve -matrix system.mtx -method mult -cycles 40
+//	mgsolve -problem 27pt -size 16 -solver pcg -tol 1e-8       # AMG-preconditioned CG
+//	mgsolve -problem conv-diff -size 16 -solver fgmres -method multadd
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"asyncmg/internal/async"
 	"asyncmg/internal/grid"
 	"asyncmg/internal/harness"
+	"asyncmg/internal/krylov"
 	"asyncmg/internal/mg"
 	"asyncmg/internal/mtx"
 	"asyncmg/internal/obs"
@@ -41,6 +44,10 @@ func main() {
 	smo := flag.String("smoother", "w-jacobi", "smoother: w-jacobi, l1-jacobi, hybrid-jgs, async-gs")
 	omega := flag.Float64("omega", 0, "Jacobi weight (0 = family default: 0.9 stencil, 0.5 FEM)")
 	cycles := flag.Int("cycles", 30, "number of V-cycles (t_max)")
+	solver := flag.String("solver", "cycle", "outer solver: cycle (plain multigrid cycling), pcg or fgmres (AMG-preconditioned Krylov)")
+	tol := flag.Float64("tol", 1e-8, "relative-residual tolerance for -solver pcg|fgmres")
+	maxiter := flag.Int("maxiter", 500, "iteration cap for -solver pcg|fgmres")
+	restart := flag.Int("restart", 0, "FGMRES restart length m (0 = default 30)")
 	aggressive := flag.Int("aggressive", 1, "aggressive coarsening levels")
 	matrixFree := flag.Bool("matrix-free", false, "apply the fine level from the stencil without materializing CSR (7pt/27pt only)")
 	f32Coarse := flag.Bool("f32-coarse", false, "store coarse operators and interpolants in float32")
@@ -160,6 +167,44 @@ func main() {
 		log.Fatal(err)
 	}
 	b := grid.RandomRHS(setup.LevelSize(0), *seed)
+
+	if *solver != "cycle" {
+		if *runAsync {
+			log.Fatalf("-solver %s runs the synchronous Krylov path; drop -async", *solver)
+		}
+		if *solver == "pcg" && m == mg.AFACx {
+			log.Fatal("afacx is not an SPD preconditioner; use -solver fgmres with it")
+		}
+		setup.SetObserver(o)
+		p := krylov.NewMGPreconditioner(setup, m)
+		defer p.Release()
+		opt := krylov.DefaultOptions()
+		opt.Tol, opt.MaxIter, opt.Restart = *tol, *maxiter, *restart
+		opt.M, opt.Observer = p, o
+		var res krylov.Result
+		switch *solver {
+		case "pcg":
+			res, err = krylov.PCG(setup.Ops[0], b, opt)
+		case "fgmres":
+			res, err = krylov.FGMRES(setup.Ops[0], b, opt)
+		default:
+			log.Fatalf("unknown solver %q (want cycle, pcg, fgmres)", *solver)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s(%v-preconditioned) convergence (rel res per iteration):\n", *solver, m)
+		for t, h := range res.History {
+			fmt.Printf("  iter %3d: %.6e\n", t, h)
+		}
+		fmt.Printf("%s: rel res %.3e in %d iterations (converged=%v)\n",
+			*solver, res.RelRes, res.Iterations, res.Converged)
+		if !res.Converged {
+			finish()
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *runAsync {
 		wm := async.AtomicWrite

@@ -428,8 +428,10 @@ func Solve(ctx context.Context, s *mg.Setup, b []float64, cfg Config) (*Result, 
 			c := m.Payload.(correction)
 			if o != nil {
 				// Message volume: every arriving correction carried its
-				// payload over the transport, discarded or not. The nonzero
-				// count is what coarse-operator sparsification shrinks.
+				// payload over the transport, discarded or not. Corrections
+				// are prolongated before sending, so the count is dense
+				// fine-grid volume (see harness.MsgVolume for the measured
+				// consequence: sparsification does not shrink it).
 				nnz := int64(0)
 				for _, v := range c.c {
 					if v != 0 {

@@ -277,6 +277,18 @@ func (s *Engine) BlockCycle(m Method, x, b []float64, k int, w *BlockWorkspace) 
 	}
 }
 
+// BlockPreconditionCycle applies one block cycle of method m from a zero
+// initial guess: Z = B R column by column, the preconditioner application
+// of the block Krylov path. By the block-cycle contract each column of Z
+// is bitwise-identical to a single-RHS PreconditionCycle on that column.
+// The method must have a fused block path (CanBlockCycle).
+func (s *Engine) BlockPreconditionCycle(m Method, z, r []float64, k int, w *BlockWorkspace) {
+	for i := range z {
+		z[i] = 0
+	}
+	s.BlockCycle(m, z, r, k, w)
+}
+
 // SolveBlockCtx runs tmax V-cycles of method m on k packed right-hand
 // sides from x = 0 and returns the packed iterate plus one relative
 // residual history per column (hists[c][0] == 1). Results are

@@ -364,6 +364,16 @@ func (s *Engine) MultaddCycleSymmetrized(x, b []float64, w *Workspace) {
 	}
 }
 
+// PreconditionCycle applies one cycle of method m from a zero initial
+// guess: z = B r, the multigrid-preconditioner application of the Krylov
+// subsystem. For symmetric A with diagonal smoothers, Mult (the symmetric
+// V(1,1)-cycle), BPX, and the plain additive Multadd all yield a symmetric
+// positive definite B, as PCG requires; AFACx does not.
+func (s *Engine) PreconditionCycle(m Method, z, r []float64, w *Workspace) {
+	vec.Zero(z)
+	s.Cycle(m, z, r, w)
+}
+
 // MultCycleSawtooth performs one sawtooth V(0,1)-cycle: a V-cycle with no
 // pre-smoothing, as used by the "chaotic cycle" method of Hawkes et al.
 // (reference [11] of the paper), the closest prior asynchronous-multigrid

@@ -1,0 +1,86 @@
+package harness
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestKrylovBenchSmall runs the bench at a small size and checks the
+// invariants benchguard later enforces on the checked-in report: PCG
+// never needs more iterations than cycling, the conv-diff row shows
+// cycling stalled while FGMRES converged, the warm solves allocate
+// nothing, and the block path matches solo bitwise.
+func TestKrylovBenchSmall(t *testing.T) {
+	cfg := KrylovBenchConfig{
+		Problems: []string{Problem7pt, Problem27pt},
+		Size:     10,
+		Tau:      1e-6,
+		MaxIter:  400,
+		// The stall needs strong convection and a tight budget at a
+		// small mesh (cycling reaches ~4e-6 at cycle 60 here).
+		ConvDiffSize:   12,
+		ConvDiffBeta:   1024,
+		ConvDiffTau:    1e-8,
+		ConvDiffBudget: 60,
+	}
+	rep, err := KrylovBench(io.Discard, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("got %d rows", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if !row.PCGConverged {
+			t.Errorf("%s: pcg did not converge", row.Problem)
+		}
+		if row.ItersPCG > row.ItersCycle {
+			t.Errorf("%s: pcg %d iters > cycling %d", row.Problem, row.ItersPCG, row.ItersCycle)
+		}
+		if row.SolveNSPCG <= 0 || row.SolveNSCycle <= 0 {
+			t.Errorf("%s: non-positive solve times %d %d", row.Problem, row.SolveNSCycle, row.SolveNSPCG)
+		}
+	}
+	cd := rep.ConvDiff
+	if !cd.CycleStalled {
+		t.Errorf("cycling did not stall on conv-diff beta=%.0f: relres %g", cd.Beta, cd.CycleRelRes)
+	}
+	if !cd.FGMRESConv {
+		t.Errorf("fgmres did not converge on conv-diff: %d iters", cd.FGMRESIters)
+	}
+	if rep.PCGAllocsPerSolve != 0 || rep.FGMRESAllocsPerSolve != 0 {
+		t.Errorf("warm solves allocate: pcg %.1f, fgmres %.1f", rep.PCGAllocsPerSolve, rep.FGMRESAllocsPerSolve)
+	}
+	if !rep.BlockMatchesSolo {
+		t.Error("block PCG does not match solo bitwise")
+	}
+}
+
+// TestMsgVolumeSmall pins the message-volume experiment's shape and its
+// honest finding: correction payloads are budget-determined (dense fine
+// vectors), so the golden and sparsified totals agree exactly, while
+// the sparsified hierarchy is no larger than the golden one.
+func TestMsgVolumeSmall(t *testing.T) {
+	var sb strings.Builder
+	rep, err := MsgVolume(&sb, MsgVolumeConfig{Size: 8, MaxCorrections: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SentNNZGolden <= 0 {
+		t.Fatal("no payload counted")
+	}
+	if rep.SentNNZSparsified != rep.SentNNZGolden {
+		t.Errorf("payload changed: %d -> %d (corrections are dense fine vectors; did the protocol change?)",
+			rep.SentNNZGolden, rep.SentNNZSparsified)
+	}
+	if rep.HierarchyBytesSparsified > rep.HierarchyBytesGolden {
+		t.Errorf("sparsified hierarchy grew: %d -> %d", rep.HierarchyBytesGolden, rep.HierarchyBytesSparsified)
+	}
+	if len(rep.PerGridGolden) == 0 || !strings.Contains(sb.String(), "total sent nnz") {
+		t.Error("report table missing")
+	}
+	if _, err := MsgVolume(io.Discard, MsgVolumeConfig{Method: "mult"}); err == nil {
+		t.Error("non-additive method accepted")
+	}
+}

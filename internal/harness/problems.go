@@ -19,11 +19,28 @@ const (
 	Problem27pt       = "27pt"
 	ProblemLaplaceFEM = "mfem-laplace"
 	ProblemElasticity = "mfem-elasticity"
+	// ProblemConvDiff is the non-symmetric upwind convection-diffusion
+	// operator -Δu + β·∇u (β = ConvDiffBeta): the FGMRES target problem.
+	// It is not one of the paper's four test sets, so AllProblems (which
+	// drives the paper-protocol sweeps and their golden baselines) does
+	// not include it; KnownProblems does.
+	ProblemConvDiff = "conv-diff"
 )
+
+// ConvDiffBeta is the upwind convection strength of ProblemConvDiff,
+// chosen strongly convection-dominated so that symmetric-assumption
+// multigrid cycling degrades while preconditioned FGMRES converges.
+const ConvDiffBeta = 4.0
 
 // AllProblems lists the four test sets of the paper in its order.
 func AllProblems() []string {
 	return []string{Problem7pt, Problem27pt, ProblemLaplaceFEM, ProblemElasticity}
+}
+
+// KnownProblems lists every family BuildProblem accepts: the paper's four
+// plus the non-symmetric convection-diffusion extension.
+func KnownProblems() []string {
+	return append(AllProblems(), ProblemConvDiff)
 }
 
 // BuildProblem generates a test matrix by family name and mesh parameter.
@@ -56,8 +73,10 @@ func BuildProblem(name string, size int) (*sparse.CSR, error) {
 			return nil, err
 		}
 		return prob.A, nil
+	case ProblemConvDiff:
+		return grid.ConvectionDiffusion7pt(size, ConvDiffBeta), nil
 	default:
-		return nil, fmt.Errorf("harness: unknown problem %q (want %v)", name, AllProblems())
+		return nil, fmt.Errorf("harness: unknown problem %q (want %v)", name, KnownProblems())
 	}
 }
 

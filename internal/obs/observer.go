@@ -59,11 +59,11 @@ type Observer struct {
 	// *NS counters accumulate the per-stage wall time (nanoseconds) of
 	// those setups, matching amg.SetupStats stage for stage (the cached
 	// Pᵀ build and the Galerkin triple product are separate stages).
-	SetupBuilds                     *Counter
-	SetupTotalNS, SetupStrengthNS   *Counter
-	SetupCoarsenNS, SetupInterpNS   *Counter
-	SetupTransposeNS, SetupRAPNS    *Counter
-	SetupFactorNS, SetupSparsifyNS  *Counter
+	SetupBuilds                    *Counter
+	SetupTotalNS, SetupStrengthNS  *Counter
+	SetupCoarsenNS, SetupInterpNS  *Counter
+	SetupTransposeNS, SetupRAPNS   *Counter
+	SetupFactorNS, SetupSparsifyNS *Counter
 	// Sparsification-guard outcomes recorded through Sparsified: levels
 	// that kept a sparsified operator, total nonzeros dropped from coarse
 	// operators, and levels the convergence guard reverted.
@@ -74,6 +74,14 @@ type Observer struct {
 	// correction messages the distmem workers sent to the owner — the
 	// message-volume signal coarse-operator sparsification shrinks.
 	SentNNZ *GridCounters
+
+	// Krylov-subsystem counters (package krylov): iterations across all
+	// solver kinds, completed PCG and FGMRES solves, solves that reached
+	// tolerance, and breakdowns (non-SPD operator or preconditioner
+	// detected mid-solve). Zero-valued for pure cycling workloads.
+	KrylovIterations                   *Counter
+	KrylovPCGSolves, KrylovFGMRESolves *Counter
+	KrylovConverged, KrylovBreakdowns  *Counter
 
 	// Serving counters of the solver service (package serve): hierarchy
 	// setup-cache traffic, batched multi-RHS solve sizes, admission-queue
@@ -147,6 +155,11 @@ func New(grids int) *Observer {
 		SparsifyDropped:     r.NewCounter("sparsify_dropped_nnz_total"),
 		SparsifyFallbacks:   r.NewCounter("sparsify_fallbacks_total"),
 		SentNNZ:             r.NewGridCounters("distmem_sent_nnz_total", grids),
+		KrylovIterations:    r.NewCounter("krylov_iterations_total"),
+		KrylovPCGSolves:     r.NewCounter("krylov_pcg_solves_total"),
+		KrylovFGMRESolves:   r.NewCounter("krylov_fgmres_solves_total"),
+		KrylovConverged:     r.NewCounter("krylov_converged_total"),
+		KrylovBreakdowns:    r.NewCounter("krylov_breakdowns_total"),
 		CacheHits:           r.NewCounter("serve_cache_hits_total"),
 		CacheMisses:         r.NewCounter("serve_cache_misses_total"),
 		CacheEvictions:      r.NewCounter("serve_cache_evictions_total"),
@@ -275,7 +288,34 @@ func (o *Observer) IterationDone(relres float64) {
 		return
 	}
 	o.CycleResiduals.Inc()
+	o.KrylovIterations.Inc()
 	o.Trace.Record(EvIteration, -1, relres)
+}
+
+// KrylovSolved records one finished Krylov solve: kind is "pcg" or
+// "fgmres", converged reports whether it reached tolerance.
+func (o *Observer) KrylovSolved(kind string, converged bool) {
+	if o == nil {
+		return
+	}
+	switch kind {
+	case "pcg":
+		o.KrylovPCGSolves.Inc()
+	case "fgmres":
+		o.KrylovFGMRESolves.Inc()
+	}
+	if converged {
+		o.KrylovConverged.Inc()
+	}
+}
+
+// KrylovBreakdown records one Krylov breakdown (a non-positive or
+// non-finite inner product: the operator or preconditioner is not SPD).
+func (o *Observer) KrylovBreakdown() {
+	if o == nil {
+		return
+	}
+	o.KrylovBreakdowns.Inc()
 }
 
 // SetupDone records one completed AMG setup phase with its per-stage

@@ -66,6 +66,7 @@ func (a *CSROp) ResidualAtomicRange(dst *vec.Atomic, b []float64, x *vec.Atomic,
 }
 
 func (a *CSROp) ResidualBlock(r, b, x []float64, k int) { a.M.ResidualBlockPar(r, b, x, k) }
+func (a *CSROp) ApplyBlock(y, x []float64, k int)       { a.M.MatVecBlockPar(y, x, k) }
 
 // CSRInterp adapts a float64 CSR interpolant pair (P and its cached
 // transpose Pᵀ) to the Interp interface, delegating to the sparse kernels

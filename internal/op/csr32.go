@@ -280,6 +280,9 @@ func (a *CSR32) MatVecBlock(y, x []float64, k int)      { a.runBlock(modeBlockAp
 func (a *CSR32) MatVecAddBlock(y, x []float64, k int)   { a.runBlock(modeBlockApplyAdd, y, nil, x, k) }
 func (a *CSR32) ResidualBlock(r, b, x []float64, k int) { a.runBlock(modeBlockResidual, r, b, x, k) }
 
+// ApplyBlock is MatVecBlock under the op.BlockApplier capability name.
+func (a *CSR32) ApplyBlock(y, x []float64, k int) { a.MatVecBlock(y, x, k) }
+
 // CSR32Interp is an interpolant pair (P, Pᵀ) in float32 storage.
 type CSR32Interp struct {
 	P  *CSR32

@@ -152,6 +152,13 @@ type BlockOperator interface {
 	ResidualBlock(r, b, x []float64, k int)
 }
 
+// BlockApplier is the multi-RHS product capability y = A x (k packed
+// columns, row-major). The block Krylov path requires it on the fine
+// level; the CSR-backed operators provide it.
+type BlockApplier interface {
+	ApplyBlock(y, x []float64, k int)
+}
+
 // BlockInterp is the multi-RHS capability of an Interp.
 type BlockInterp interface {
 	ApplyBlock(fine, coarse []float64, k int)

@@ -5,16 +5,23 @@ import (
 	"sync/atomic"
 	"time"
 
+	"asyncmg/internal/krylov"
 	"asyncmg/internal/mg"
 	"asyncmg/internal/obs"
 	"asyncmg/internal/sparse"
 )
 
 // batchKey identifies which requests may share one block solve: same
-// hierarchy (implied by the owning entry), same method, same cycle budget.
+// hierarchy (implied by the owning entry), same method, and the same
+// iteration — the cycle budget for plain cycling, or the (solver, tol,
+// maxiter) triple for Krylov solves. Only identical iterations coalesce,
+// so batching stays bitwise-invisible per column.
 type batchKey struct {
-	method mg.Method
-	cycles int
+	method  mg.Method
+	cycles  int
+	solver  string // "" for plain cycling, SolverPCG for block PCG
+	tol     float64
+	maxiter int
 }
 
 // batchResult is one member's share of a finished (block) solve.
@@ -24,6 +31,9 @@ type batchResult struct {
 	k       int // batch size this request rode in
 	solveNS int64
 	err     error
+	// iters/converged report the Krylov iteration (PCG batches only).
+	iters     int
+	converged bool
 }
 
 type batchMember struct {
@@ -99,6 +109,10 @@ func (bt *batcher) run(e *entry, key batchKey, members []batchMember) {
 	if bt.obs != nil {
 		bt.obs.BatchSizes.Observe(int64(k))
 	}
+	if key.solver == SolverPCG {
+		bt.runPCG(e, key, members)
+		return
+	}
 	start := time.Now()
 	if k == 1 {
 		m := members[0]
@@ -129,6 +143,69 @@ func (bt *batcher) run(e *entry, key batchKey, members []batchMember) {
 		}
 		m.done <- res
 	}
+}
+
+// runPCG is the Krylov arm of the batcher: k coalesced PCG requests run
+// as one block PCG whose every column is bitwise-identical to the solo
+// solve the member would have run alone (the krylov block contract), so
+// riding a batch never changes a client's answer.
+func (bt *batcher) runPCG(e *entry, key batchKey, members []batchMember) {
+	k := len(members)
+	opt := krylov.DefaultOptions()
+	opt.Tol = key.tol
+	opt.MaxIter = key.maxiter
+	opt.Observer = bt.obs
+	start := time.Now()
+	if k == 1 {
+		m := members[0]
+		res, err := soloKrylov(m.ctx, e.setup, SolverPCG, key.method, m.rhs, opt)
+		m.done <- batchResult{
+			x: res.X, hist: res.History, k: 1,
+			solveNS: time.Since(start).Nanoseconds(), err: err,
+			iters: res.Iterations, converged: res.Converged,
+		}
+		return
+	}
+	ctx, cancel := allCancelledCtx(members)
+	defer cancel()
+	n := e.rows
+	b := make([]float64, n*k)
+	cols := make([][]float64, k)
+	for c := range members {
+		cols[c] = members[c].rhs
+	}
+	sparse.PackBlock(b, cols)
+	blk, err := krylov.BlockPCGCtx(ctx, e.setup, key.method, b, k, opt)
+	ns := time.Since(start).Nanoseconds()
+	for c, m := range members {
+		res := batchResult{k: k, solveNS: ns, err: err}
+		if err == nil {
+			if blk.Errs[c] != nil {
+				res.err = blk.Errs[c]
+			} else {
+				col := make([]float64, n)
+				sparse.UnpackBlockColumn(col, blk.X, k, c)
+				res.x = col
+				res.hist = blk.Cols[c].History
+				res.iters = blk.Cols[c].Iterations
+				res.converged = blk.Cols[c].Converged
+			}
+		}
+		m.done <- res
+	}
+}
+
+// soloKrylov runs one AMG-preconditioned Krylov solve on a cached
+// hierarchy. The plain (non-symmetrized) cycle preconditioner keeps the
+// solo path bitwise-identical to the batched block path.
+func soloKrylov(ctx context.Context, setup *mg.Setup, solver string, method mg.Method, b []float64, opt krylov.Options) (krylov.Result, error) {
+	p := krylov.NewMGPreconditioner(setup, method)
+	defer p.Release()
+	opt.M = p
+	if solver == SolverFGMRES {
+		return krylov.FGMRESCtx(ctx, setup.Ops[0], b, opt)
+	}
+	return krylov.PCGCtx(ctx, setup.Ops[0], b, opt)
 }
 
 // allCancelledCtx returns a context that is cancelled once every member

@@ -4,6 +4,8 @@ import (
 	"math"
 	"net/url"
 	"testing"
+
+	"asyncmg/internal/mg"
 )
 
 // FuzzParseSolveRequest is the decoder's no-panic contract: the /solve
@@ -24,6 +26,12 @@ func FuzzParseSolveRequest(f *testing.F) {
 	f.Add([]byte(`{"problem":"7pt","size":8,"mode":"async","damping":"auto","damp_rollback":true}`))
 	f.Add([]byte(`{"problem":"7pt","size":8,"mode":"async","damping":"fixed","damp_omega":0.5,"damp_min_omega":0.1}`))
 	f.Add([]byte(`{"problem":"7pt","size":8,"mode":"async","damping":"auto","damp_omega":9e307,"damp_staleness_ref":-4}`))
+	f.Add([]byte(`{"problem":"7pt","size":8,"solver":"pcg","tol":1e-9,"maxiter":200}`))
+	f.Add([]byte(`{"problem":"conv-diff","size":8,"solver":"fgmres","restart":20,"tol":1e-8}`))
+	f.Add([]byte(`{"problem":"7pt","size":8,"solver":"pcg","method":"afacx"}`))
+	f.Add([]byte(`{"problem":"7pt","size":8,"solver":"fgmres","mode":"async"}`))
+	f.Add([]byte(`{"problem":"7pt","size":8,"solver":"cycle","tol":0.5}`))
+	f.Add([]byte(`{"problem":"7pt","size":8,"solver":"pcg","tol":-3e2,"restart":-1}`))
 	f.Fuzz(func(t *testing.T, body []byte) {
 		sp, err := parseSolveRequest(body)
 		if err != nil {
@@ -52,6 +60,27 @@ func FuzzParseSolveRequest(f *testing.F) {
 		if sp.timeout < 0 {
 			t.Fatalf("validated spec has negative timeout %v", sp.timeout)
 		}
+		switch sp.solver {
+		case SolverCycle:
+			if sp.tol != 0 || sp.maxiter != 0 || sp.restart != 0 {
+				t.Fatalf("cycle spec carries krylov knobs: %+v", sp)
+			}
+		case SolverPCG, SolverFGMRES:
+			if sp.mode != ModeSync {
+				t.Fatalf("krylov spec has mode %q", sp.mode)
+			}
+			if !(sp.tol > 0 && sp.tol < 1) {
+				t.Fatalf("krylov spec has tol %v", sp.tol)
+			}
+			if sp.maxiter < 1 || sp.maxiter > maxKrylovIter {
+				t.Fatalf("krylov spec has maxiter %d", sp.maxiter)
+			}
+			if sp.solver == SolverFGMRES && (sp.restart < 1 || sp.restart > maxRestart) {
+				t.Fatalf("fgmres spec has restart %d", sp.restart)
+			}
+		default:
+			t.Fatalf("validated spec has solver %q", sp.solver)
+		}
 	})
 }
 
@@ -64,6 +93,10 @@ func FuzzSpecFromQuery(f *testing.F) {
 	f.Add("no_batch=maybe&return_x=1")
 	f.Add("mode=async&damping=auto&damp_omega=0.8&damp_rollback=true")
 	f.Add("damping=fixed&damp_omega=inf")
+	f.Add("solver=pcg&tol=1e-9&maxiter=100")
+	f.Add("solver=fgmres&restart=25&tol=0.5e-7")
+	f.Add("solver=pcg&method=afacx")
+	f.Add("solver=cycle&tol=nan&restart=1e99")
 	f.Fuzz(func(t *testing.T, rawQuery string) {
 		q, err := url.ParseQuery(rawQuery)
 		if err != nil {
@@ -72,6 +105,49 @@ func FuzzSpecFromQuery(f *testing.F) {
 		sp, err := specFromQuery(q)
 		if err == nil && sp == nil {
 			t.Fatal("nil spec without error")
+		}
+	})
+}
+
+// FuzzKrylovRequest targets the solver-selection corner of the /solve
+// decoder: any combination of solver/tol/maxiter/restart/method/mode
+// either yields an error or a spec the Krylov layer will accept —
+// positive in-range tol, bounded maxiter and restart, sync mode, and an
+// SPD method whenever pcg was chosen.
+func FuzzKrylovRequest(f *testing.F) {
+	f.Add("pcg", "mult", "sync", 1e-9, 200, 0)
+	f.Add("fgmres", "multadd", "sync", 1e-8, 500, 30)
+	f.Add("fgmres", "afacx", "sync", 1e-6, 50, 5)
+	f.Add("pcg", "afacx", "sync", 1e-8, 100, 0)
+	f.Add("cycle", "", "", 0.0, 0, 0)
+	f.Add("PCG", "bpx", "sync", 0.99, 10000, 0)
+	f.Add("gmres", "mult", "dist", math.NaN(), -5, 1<<30)
+	f.Fuzz(func(t *testing.T, solver, method, mode string, tol float64, maxiter, restart int) {
+		req := &SolveRequest{
+			Problem: "7pt", Size: 6,
+			Solver: solver, Method: method, Mode: mode,
+			Tol: tol, MaxIter: maxiter, Restart: restart,
+		}
+		sp, err := specFromRequest(req)
+		if err != nil {
+			if sp != nil {
+				t.Fatal("error with non-nil spec")
+			}
+			return
+		}
+		switch sp.solver {
+		case SolverCycle:
+		case SolverPCG:
+			if sp.method == mg.AFACx {
+				t.Fatal("decoder accepted pcg with a non-SPD preconditioner")
+			}
+			fallthrough
+		case SolverFGMRES:
+			if sp.mode != ModeSync || !(sp.tol > 0 && sp.tol < 1) || sp.maxiter < 1 || sp.maxiter > maxKrylovIter {
+				t.Fatalf("decoder accepted an unusable krylov spec: %+v", sp)
+			}
+		default:
+			t.Fatalf("spec has solver %q", sp.solver)
 		}
 	})
 }

@@ -10,6 +10,7 @@ import (
 
 	"asyncmg/internal/async"
 	"asyncmg/internal/harness"
+	"asyncmg/internal/krylov"
 	"asyncmg/internal/mg"
 	"asyncmg/internal/smoother"
 )
@@ -48,6 +49,19 @@ type SolveRequest struct {
 	// default: n floats of JSON per request is rarely what a load test
 	// wants).
 	ReturnX bool `json:"return_x,omitempty"`
+	// Solver selects the outer iteration: "cycle" (default, plain
+	// multigrid cycling), "pcg" (AMG-preconditioned conjugate gradients)
+	// or "fgmres" (flexible restarted GMRES, for non-symmetric
+	// operators). The Krylov solvers reuse the cached hierarchy as the
+	// preconditioner and run in sync mode only.
+	Solver string `json:"solver,omitempty"`
+	// Tol is the Krylov relative-residual stopping tolerance
+	// (default 1e-8; Krylov solvers only).
+	Tol float64 `json:"tol,omitempty"`
+	// MaxIter bounds Krylov iterations (default 500; Krylov solvers only).
+	MaxIter int `json:"maxiter,omitempty"`
+	// Restart is the FGMRES restart length m (default 30; fgmres only).
+	Restart int `json:"restart,omitempty"`
 	// Damping selects the correction-damping policy for async-mode
 	// additive solves: "off" (default), "fixed" or "auto".
 	Damping string `json:"damping,omitempty"`
@@ -73,6 +87,11 @@ type SolveResponse struct {
 	Mode    string `json:"mode"`
 	// Cycles is the number of V-cycles actually run.
 	Cycles int `json:"cycles"`
+	// Solver echoes the outer iteration that ran; Iterations and
+	// Converged report the Krylov solve (absent for plain cycling).
+	Solver     string `json:"solver,omitempty"`
+	Iterations int    `json:"iterations,omitempty"`
+	Converged  bool   `json:"converged,omitempty"`
 	// RelRes is the final relative residual; History the per-cycle trace
 	// (sync mode).
 	RelRes  float64   `json:"relres"`
@@ -112,6 +131,13 @@ const (
 	ModeDist  = "dist"
 )
 
+// Outer solvers.
+const (
+	SolverCycle  = "cycle"
+	SolverPCG    = "pcg"
+	SolverFGMRES = "fgmres"
+)
+
 // spec is a validated, enum-resolved solve request.
 type spec struct {
 	problem string // harness family, or "" for an uploaded matrix
@@ -127,6 +153,10 @@ type spec struct {
 	noBatch bool
 	returnX bool
 	damping async.DampingPolicy
+	solver  string // SolverCycle, SolverPCG or SolverFGMRES
+	tol     float64
+	maxiter int
+	restart int
 }
 
 // Request-shape limits enforced before any work happens. Decoding is the
@@ -136,6 +166,11 @@ const (
 	maxThreads    = 1 << 10
 	maxSize       = 1 << 20
 	maxRHSEntries = 1 << 26
+	maxKrylovIter = 10_000
+	maxRestart    = 1 << 10
+
+	defaultKrylovTol     = 1e-8
+	defaultKrylovMaxIter = 500
 )
 
 // parseSolveRequest decodes and validates a /solve JSON body. It must
@@ -165,13 +200,13 @@ func specFromRequest(req *SolveRequest) (*spec, error) {
 	}
 	if req.Problem != "" {
 		known := false
-		for _, p := range harness.AllProblems() {
+		for _, p := range harness.KnownProblems() {
 			if p == req.Problem {
 				known = true
 			}
 		}
 		if !known {
-			return nil, fmt.Errorf("unknown problem %q (want one of %v)", req.Problem, harness.AllProblems())
+			return nil, fmt.Errorf("unknown problem %q (want one of %v)", req.Problem, harness.KnownProblems())
 		}
 		if req.Size < 2 || req.Size > maxSize {
 			return nil, fmt.Errorf("size %d outside [2, %d]", req.Size, maxSize)
@@ -249,7 +284,74 @@ func specFromRequest(req *SolveRequest) (*spec, error) {
 			return nil, fmt.Errorf("damping applies to the additive methods (multadd, afacx), got %q", methodName(sp.method))
 		}
 	}
+	if err := validateSolver(req, sp); err != nil {
+		return nil, err
+	}
 	return sp, nil
+}
+
+// validateSolver resolves the outer-solver selection. The Krylov knobs
+// (tol, maxiter, restart) are rejected — not ignored — when the solver
+// they configure is not selected, so a typo'd request fails loudly.
+func validateSolver(req *SolveRequest, sp *spec) error {
+	switch strings.ToLower(req.Solver) {
+	case "", SolverCycle:
+		sp.solver = SolverCycle
+	case SolverPCG, "cg":
+		sp.solver = SolverPCG
+	case SolverFGMRES, "gmres":
+		sp.solver = SolverFGMRES
+	default:
+		return fmt.Errorf("unknown solver %q (want cycle, pcg or fgmres)", req.Solver)
+	}
+	if sp.solver == SolverCycle {
+		if req.Tol != 0 || req.MaxIter != 0 || req.Restart != 0 {
+			return fmt.Errorf("tol, maxiter and restart apply to the Krylov solvers (pcg, fgmres)")
+		}
+		return nil
+	}
+	if sp.mode != ModeSync {
+		return fmt.Errorf("solver %q requires mode sync, got %q", sp.solver, sp.mode)
+	}
+	tol := req.Tol
+	if math.IsNaN(tol) || math.IsInf(tol, 0) || tol < 0 || tol >= 1 {
+		return fmt.Errorf("tol %v outside (0, 1)", tol)
+	}
+	if tol == 0 {
+		tol = defaultKrylovTol
+	}
+	sp.tol = tol
+	mi := req.MaxIter
+	if mi == 0 {
+		mi = defaultKrylovMaxIter
+	}
+	if mi < 1 || mi > maxKrylovIter {
+		return fmt.Errorf("maxiter %d outside [1, %d]", mi, maxKrylovIter)
+	}
+	sp.maxiter = mi
+	switch sp.solver {
+	case SolverPCG:
+		if req.Restart != 0 {
+			return fmt.Errorf("restart applies to fgmres only")
+		}
+		// PCG needs an SPD preconditioner: one symmetric cycle (mult), or
+		// an additive cycle built from SPD level terms (multadd, bpx).
+		// AFACx is not SPD — route non-symmetric preconditioning through
+		// fgmres instead.
+		if sp.method == mg.AFACx {
+			return fmt.Errorf("pcg needs an SPD preconditioner (mult, multadd or bpx); use fgmres with afacx")
+		}
+	case SolverFGMRES:
+		rs := req.Restart
+		if rs == 0 {
+			rs = krylov.DefaultRestart
+		}
+		if rs < 1 || rs > maxRestart {
+			return fmt.Errorf("restart %d outside [1, %d]", rs, maxRestart)
+		}
+		sp.restart = rs
+	}
+	return nil
 }
 
 // parseDampMode maps the wire name of a damping policy to its mode.
@@ -279,12 +381,13 @@ func specFromQuery(q map[string][]string) (*spec, error) {
 		Smoother: get("smoother"),
 		Mode:     get("mode"),
 		Damping:  get("damping"),
+		Solver:   get("solver"),
 	}
 	var err error
 	for _, f := range []struct {
 		name string
 		dst  *float64
-	}{{"omega", &req.Omega}, {"damp_omega", &req.DampOmega}, {"damp_min_omega", &req.DampMinOmega}} {
+	}{{"omega", &req.Omega}, {"damp_omega", &req.DampOmega}, {"damp_min_omega", &req.DampMinOmega}, {"tol", &req.Tol}} {
 		if s := get(f.name); s != "" {
 			if *f.dst, err = strconv.ParseFloat(s, 64); err != nil {
 				return nil, fmt.Errorf("bad %s %q", f.name, s)
@@ -294,7 +397,7 @@ func specFromQuery(q map[string][]string) (*spec, error) {
 	for _, f := range []struct {
 		name string
 		dst  *int
-	}{{"cycles", &req.Cycles}, {"threads", &req.Threads}} {
+	}{{"cycles", &req.Cycles}, {"threads", &req.Threads}, {"maxiter", &req.MaxIter}, {"restart", &req.Restart}} {
 		if s := get(f.name); s != "" {
 			if *f.dst, err = strconv.Atoi(s); err != nil {
 				return nil, fmt.Errorf("bad %s %q", f.name, s)

@@ -40,6 +40,7 @@ import (
 	"asyncmg/internal/distmem"
 	"asyncmg/internal/grid"
 	"asyncmg/internal/harness"
+	"asyncmg/internal/krylov"
 	"asyncmg/internal/mg"
 	"asyncmg/internal/mtx"
 	"asyncmg/internal/obs"
@@ -478,6 +479,10 @@ func (s *Server) solve(w http.ResponseWriter, r *http.Request, sp *spec, key str
 }
 
 func (s *Server) solveSync(ctx context.Context, w http.ResponseWriter, r *http.Request, sp *spec, e *entry, b []float64, resp *SolveResponse) {
+	if sp.solver != SolverCycle {
+		s.solveKrylov(ctx, w, r, sp, e, b, resp)
+		return
+	}
 	key := batchKey{method: sp.method, cycles: sp.cycles}
 	var res batchResult
 	if !sp.noBatch && e.setup.CanBlockCycle(sp.method) {
@@ -501,6 +506,57 @@ func (s *Server) solveSync(ctx context.Context, w http.ResponseWriter, r *http.R
 	resp.SolveNS = res.solveNS
 	resp.History = res.hist
 	resp.Cycles = len(res.hist) - 1
+	if len(res.hist) > 0 {
+		resp.RelRes = res.hist[len(res.hist)-1]
+	}
+	resp.Diverged = vec.Diverged(res.x, resp.RelRes)
+	if sp.returnX {
+		resp.X = res.x
+	}
+	writeJSON(w, resp)
+}
+
+// solveKrylov runs the request as an AMG-preconditioned Krylov solve on
+// the cached hierarchy: the setup this request would have cycled with
+// becomes the preconditioner, applied as one cycle from a zero guess per
+// iteration. PCG requests ride the batcher (block PCG, bitwise-identical
+// per column to solo solves); FGMRES always runs solo — its flexible
+// basis has no block path.
+func (s *Server) solveKrylov(ctx context.Context, w http.ResponseWriter, r *http.Request, sp *spec, e *entry, b []float64, resp *SolveResponse) {
+	resp.Solver = sp.solver
+	var res batchResult
+	if sp.solver == SolverPCG && !sp.noBatch && e.setup.CanBlockCycle(sp.method) {
+		key := batchKey{method: sp.method, solver: SolverPCG, tol: sp.tol, maxiter: sp.maxiter}
+		select {
+		case res = <-s.batch.join(ctx, e, key, b):
+		case <-ctx.Done():
+			s.fail(w, r, ctx.Err())
+			return
+		}
+	} else {
+		opt := krylov.DefaultOptions()
+		opt.Tol = sp.tol
+		opt.MaxIter = sp.maxiter
+		opt.Restart = sp.restart
+		opt.Observer = s.obs
+		start := time.Now()
+		kres, err := soloKrylov(ctx, e.setup, sp.solver, sp.method, b, opt)
+		res = batchResult{
+			x: kres.X, hist: kres.History, k: 1,
+			solveNS: time.Since(start).Nanoseconds(), err: err,
+			iters: kres.Iterations, converged: kres.Converged,
+		}
+	}
+	if res.err != nil {
+		s.fail(w, r, res.err)
+		return
+	}
+	s.recordSolveNS(res.solveNS)
+	resp.Batched = res.k
+	resp.SolveNS = res.solveNS
+	resp.History = res.hist
+	resp.Iterations = res.iters
+	resp.Converged = res.converged
 	if len(res.hist) > 0 {
 		resp.RelRes = res.hist[len(res.hist)-1]
 	}
@@ -573,7 +629,9 @@ func (s *Server) solveDist(ctx context.Context, w http.ResponseWriter, r *http.R
 }
 
 // fail maps solve errors to HTTP statuses: deadline → 504, client gone →
-// 499 (nginx convention; the client is not listening anyway), anything
+// 499 (nginx convention; the client is not listening anyway), Krylov
+// breakdown → 422 (the request was well-formed but the iteration cannot
+// continue on this operator — e.g. PCG on an indefinite system), anything
 // else → 500.
 func (s *Server) fail(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
@@ -581,6 +639,8 @@ func (s *Server) fail(w http.ResponseWriter, r *http.Request, err error) {
 		http.Error(w, "solve deadline exceeded", http.StatusGatewayTimeout)
 	case errors.Is(err, context.Canceled):
 		w.WriteHeader(499)
+	case errors.Is(err, krylov.ErrBreakdown):
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 	default:
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}

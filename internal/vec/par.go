@@ -47,6 +47,31 @@ func AxpyPar(alpha float64, y, x []float64) {
 	axpyPool.Put(k)
 }
 
+type xpayKernel struct {
+	alpha float64
+	y, x  []float64
+}
+
+func (k *xpayKernel) Do(_, lo, hi int) {
+	XpayRange(k.alpha, k.y, k.x, lo, hi)
+}
+
+var xpayPool = sync.Pool{New: func() any { return new(xpayKernel) }}
+
+// XpayPar computes y = x + alpha*y, sharded across the kernel pool for
+// long vectors. Bitwise-identical to Xpay.
+func XpayPar(alpha float64, y, x []float64) {
+	if !par.Par(len(y)) {
+		Xpay(alpha, y, x)
+		return
+	}
+	k := xpayPool.Get().(*xpayKernel)
+	k.alpha, k.y, k.x = alpha, y, x
+	par.Default().Run(len(y), k)
+	k.y, k.x = nil, nil
+	xpayPool.Put(k)
+}
+
 // reduceKernel accumulates per-shard partial sums for the dot and norm
 // reductions. partial is sized workers*partialStride; slot i*partialStride
 // belongs to shard i.

@@ -1,0 +1,83 @@
+package vec
+
+import (
+	"math/rand"
+	"testing"
+
+	"asyncmg/internal/par"
+)
+
+// withWorkers swaps the shared kernel pool to the given size and lowers
+// the dispatch threshold so test-sized vectors take the sharded path,
+// restoring both on cleanup.
+func withWorkers(t *testing.T, workers int) {
+	t.Helper()
+	oldThresh := par.Threshold()
+	par.SetThreshold(1)
+	par.SetWorkers(workers)
+	t.Cleanup(func() {
+		par.SetThreshold(oldThresh)
+		par.SetWorkers(0)
+	})
+}
+
+// TestXpayParBitwiseAcrossWorkerCounts pins the elementwise-kernel
+// property for the CG search-direction update y = x + alpha*y: XpayPar is
+// bitwise-identical to the serial Xpay at any worker count.
+func TestXpayParBitwiseAcrossWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 1337
+	x := make([]float64, n)
+	y0 := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y0[i] = rng.NormFloat64()
+	}
+	const alpha = 0.37219
+	want := append([]float64(nil), y0...)
+	Xpay(alpha, want, x)
+
+	for _, workers := range []int{1, 2, 8} {
+		workers := workers
+		t.Run("", func(t *testing.T) {
+			withWorkers(t, workers)
+			got := append([]float64(nil), y0...)
+			XpayPar(alpha, got, x)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d: got[%d] = %v, want %v", workers, i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestAxpyParBitwiseAcrossWorkerCounts pins the same property for the
+// existing sharded axpy.
+func TestAxpyParBitwiseAcrossWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	const n = 977
+	x := make([]float64, n)
+	y0 := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y0[i] = rng.NormFloat64()
+	}
+	const alpha = -1.25
+	want := append([]float64(nil), y0...)
+	Axpy(alpha, want, x)
+
+	for _, workers := range []int{1, 2, 8} {
+		workers := workers
+		t.Run("", func(t *testing.T) {
+			withWorkers(t, workers)
+			got := append([]float64(nil), y0...)
+			AxpyPar(alpha, got, x)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d: got[%d] = %v, want %v", workers, i, got[i], want[i])
+				}
+			}
+		})
+	}
+}

@@ -36,6 +36,21 @@ func AxpyRange(alpha float64, y, x []float64, lo, hi int) {
 	}
 }
 
+// Xpay computes y = x + alpha*y (the CG search-direction update
+// p = z + beta*p).
+func Xpay(alpha float64, y, x []float64) {
+	for i := range y {
+		y[i] = x[i] + alpha*y[i]
+	}
+}
+
+// XpayRange computes y[lo:hi] = x[lo:hi] + alpha*y[lo:hi].
+func XpayRange(alpha float64, y, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		y[i] = x[i] + alpha*y[i]
+	}
+}
+
 // Add computes z = x + y elementwise.
 func Add(z, x, y []float64) {
 	for i := range z {

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Regenerate BENCH_krylov.json, the AMG-preconditioned Krylov report
+# enforced by CI: benchguard -krylov fails the build when PCG needs more
+# iterations than plain cycling on any paper matrix, when plain Mult
+# cycling stops stalling (or FGMRES stops converging) on the strong
+# convection-diffusion operator, when a warm Krylov solve allocates, or
+# when the block multi-RHS PCG diverges bitwise from the solo solves.
+set -eu
+cd "$(dirname "$0")/.."
+go run ./cmd/mgbench -krylov -out BENCH_krylov.json
+go run ./scripts/benchguard -krylov BENCH_krylov.json

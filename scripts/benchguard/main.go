@@ -66,6 +66,19 @@
 //
 //	go run ./cmd/mgbench -sparsify -out BENCH_sparsify.json
 //	go run ./scripts/benchguard -sparsify BENCH_sparsify.json
+//
+// A seventh mode guards the AMG-preconditioned Krylov subsystem:
+// `-krylov` reads a BENCH_krylov.json written by `mgbench -krylov -out`
+// and enforces the structural invariants — on every paper matrix PCG
+// converges in no more iterations than plain cycling needs to reach the
+// same tolerance, on the convection-diffusion operator plain Mult
+// cycling stalls within the budget while Multadd-preconditioned FGMRES
+// converges, the warm solves allocate nothing, and the block multi-RHS
+// PCG is bitwise identical to the solo solves. Solve times are recorded
+// for reference but never enforced:
+//
+//	go run ./cmd/mgbench -krylov -out BENCH_krylov.json
+//	go run ./scripts/benchguard -krylov BENCH_krylov.json
 package main
 
 import (
@@ -109,6 +122,7 @@ func main() {
 	stencil := flag.Bool("stencil", false, "check StencilApply/MixedPrecisionCycle bench output on stdin")
 	asyncFile := flag.String("async", "", "check a stability map written by mgsim -staleness -out")
 	sparsifyFile := flag.String("sparsify", "", "check a BENCH_sparsify.json written by mgbench -sparsify -out")
+	krylovFile := flag.String("krylov", "", "check a BENCH_krylov.json written by mgbench -krylov -out")
 	minReduction := flag.Float64("min-reduction", 0.25, "minimum total coarse-nnz reduction (-sparsify only)")
 	maxExtraIters := flag.Int("max-extra-iters", 1, "maximum iterations over the golden run (-sparsify only)")
 	asyncBase := flag.String("async-baseline", "BENCH_async.json", "baseline stability map for -async")
@@ -122,7 +136,7 @@ func main() {
 	comment := flag.String("comment", defaultComment, "comment stored in the baseline (-write only)")
 	flag.Parse()
 	set := 0
-	for _, f := range []string{*write, *base, *serveFile, *clusterFile, *asyncFile, *sparsifyFile} {
+	for _, f := range []string{*write, *base, *serveFile, *clusterFile, *asyncFile, *sparsifyFile, *krylovFile} {
 		if f != "" {
 			set++
 		}
@@ -131,8 +145,15 @@ func main() {
 		set++
 	}
 	if set != 1 {
-		fmt.Fprintln(os.Stderr, "benchguard: exactly one of -write, -baseline, -serve, -cluster, -stencil, -async or -sparsify is required")
+		fmt.Fprintln(os.Stderr, "benchguard: exactly one of -write, -baseline, -serve, -cluster, -stencil, -async, -sparsify or -krylov is required")
 		os.Exit(2)
+	}
+	if *krylovFile != "" {
+		if err := checkKrylov(*krylovFile); err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *sparsifyFile != "" {
 		if err := checkSparsify(*sparsifyFile, *minReduction, *maxExtraIters); err != nil {
@@ -475,6 +496,58 @@ func checkSparsify(path string, minReduction float64, maxExtraIters int) error {
 	fmt.Printf("benchguard: ok   sparsify: theta=%.2f mode=%s, coarse nnz %d -> %d (-%.1f%%), %d problems within +%d iters, kernel 0 allocs/op\n",
 		rep.Theta, rep.Mode, rep.TotalCoarseNNZBefore, rep.TotalCoarseNNZAfter,
 		100*rep.TotalReduction, len(rep.Problems), maxExtraIters)
+	return nil
+}
+
+// checkKrylov enforces the AMG-preconditioned Krylov invariants on a
+// BENCH_krylov.json report. All structural, none timing-based: the
+// iteration-count comparison, the conv-diff stall/convergence pair, the
+// allocation contracts and the block-vs-solo bitwise match hold on any
+// machine. Solve times are recorded in the report for reference only.
+func checkKrylov(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep harness.KrylovReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	var fails []string
+	checkf := func(ok bool, format string, args ...any) {
+		if !ok {
+			fails = append(fails, fmt.Sprintf(format, args...))
+		}
+	}
+	checkf(len(rep.Rows) > 0, "report has no problem rows")
+	for _, row := range rep.Rows {
+		checkf(row.PCGConverged, "%s: PCG did not converge (%d iterations)", row.Problem, row.ItersPCG)
+		checkf(row.ItersPCG <= row.ItersCycle,
+			"%s: PCG took %d iterations, plain cycling %d — preconditioned Krylov must not lose",
+			row.Problem, row.ItersPCG, row.ItersCycle)
+		checkf(row.SolveNSCycle > 0 && row.SolveNSPCG > 0,
+			"%s: missing solve timings (%d, %d)", row.Problem, row.SolveNSCycle, row.SolveNSPCG)
+	}
+	cd := rep.ConvDiff
+	checkf(cd.Rows > 0, "conv-diff row missing")
+	checkf(cd.CycleStalled,
+		"conv-diff beta=%.0f: plain cycling reached %.3e within %d cycles — the stall premise no longer holds",
+		cd.Beta, cd.CycleRelRes, cd.Budget)
+	checkf(cd.FGMRESConv,
+		"conv-diff beta=%.0f: FGMRES did not converge in %d iterations", cd.Beta, cd.FGMRESIters)
+	checkf(rep.PCGAllocsPerSolve == 0,
+		"warm PCG solve allocates %.0f allocs, want 0", rep.PCGAllocsPerSolve)
+	checkf(rep.FGMRESAllocsPerSolve == 0,
+		"warm FGMRES solve allocates %.0f allocs, want 0", rep.FGMRESAllocsPerSolve)
+	checkf(rep.BlockMatchesSolo, "block multi-RHS PCG is not bitwise identical to the solo solves")
+	if len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Printf("benchguard: FAIL %s\n", f)
+		}
+		return fmt.Errorf("%d krylov invariant(s) violated", len(fails))
+	}
+	fmt.Printf("benchguard: ok   krylov: %d problems PCG <= cycling (tau %.0e), conv-diff beta=%.0f stalls cycling / FGMRES converges in %d, 0 allocs/solve, block == solo\n",
+		len(rep.Rows), rep.Tau, cd.Beta, cd.FGMRESIters)
 	return nil
 }
 
